@@ -1,0 +1,20 @@
+"""pytest-benchmark configuration for the experiment suite.
+
+Every benchmark regenerates one of the paper's tables or figures; the
+simulations are deterministic, so each runs exactly once
+(``rounds=1, iterations=1``) and the interesting output is the shape
+assertion, not the wall-clock statistics.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

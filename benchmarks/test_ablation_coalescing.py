@@ -1,0 +1,24 @@
+"""Ablation — leader-follower fault coalescing (§III-C).
+
+With coalescing disabled, every thread that faults on a page runs the
+protocol itself ("this can initiate multiple protocol requests, even
+though all per-thread requests are for the same page"), multiplying
+origin round-trips and retries.  The answer must stay correct either way.
+"""
+
+from repro.bench.experiments import ablation_coalescing
+from repro.bench.reporting import render_ablation
+
+
+def test_coalescing_reduces_protocol_traffic(once):
+    data = once(ablation_coalescing)
+    print("\n" + render_ablation("leader-follower coalescing", data))
+
+    on, off = data["coalescing_on"], data["coalescing_off"]
+    assert on["correct"] and off["correct"]
+    assert on["coalesced"] > 0
+    assert off["coalesced"] == 0
+    # without coalescing, the same page demand turns into more retries
+    # (lost directory races) and at least as many protocol-visible faults
+    assert off["retries"] >= on["retries"]
+    assert off["faults"] - off["coalesced"] > on["faults"] - on["coalesced"]

@@ -1,0 +1,25 @@
+"""Figure 3 — breakdown of the migration latency at the remote node.
+
+The shape to hold: remote-worker setup dominates the first migration
+(~620 of ~800 us) and disappears entirely from subsequent migrations.
+"""
+
+import pytest
+
+from repro.bench.experiments import migration_microbench
+from repro.bench.reporting import render_figure3
+
+
+def test_figure3_migration_breakdown(once):
+    report = once(migration_microbench)
+    print("\n" + render_figure3(report))
+
+    first = report.breakdown_first
+    second = report.breakdown_second
+    assert first["remote_worker"] == pytest.approx(620.0)
+    remote_total = sum(v for k, v in first.items() if k != "context_collect")
+    assert first["remote_worker"] / remote_total > 0.7
+    assert "remote_worker" not in second
+    # every other component is identical across migrations
+    for comp in ("thread_fork", "context_restore", "schedule"):
+        assert first[comp] == second[comp]

@@ -1,0 +1,33 @@
+"""Table II — thread migration latency.
+
+Regenerates the migration microbenchmark (§V-D): migrate one thread every
+(simulated) second, ten rounds, report per-side latencies.  The shape to
+hold: the first forward migration is ~3.4x the second; backward migration
+is more than an order of magnitude cheaper than forward.
+"""
+
+import pytest
+
+from repro.bench.experiments import migration_microbench
+from repro.bench.reporting import render_table2
+
+
+def test_table2_migration_latency(once):
+    report = once(migration_microbench)
+    print("\n" + render_table2(report))
+
+    first, second, back = (
+        report.first_forward, report.second_forward, report.backward
+    )
+    # paper: 812.1 / 236.6 / 24.7 us
+    assert first["total_us"] == pytest.approx(812.1, rel=0.05)
+    assert second["total_us"] == pytest.approx(236.6, rel=0.06)
+    assert back["total_us"] == pytest.approx(24.7, rel=0.20)
+    # per-side attribution
+    assert first["origin_us"] == pytest.approx(12.1, rel=0.05)
+    assert first["remote_us"] == pytest.approx(800.0, rel=0.05)
+    assert second["origin_us"] == pytest.approx(6.6, rel=0.05)
+    assert second["remote_us"] == pytest.approx(230.0, rel=0.05)
+    # "the second backward migration was almost the same as the first"
+    assert second["total_us"] < 0.35 * first["total_us"]
+    assert back["total_us"] < first["total_us"] / 10

@@ -1,0 +1,90 @@
+"""Relocating computation near data (§VII's outlook scenario).
+
+Shards of a dataset live on different nodes (each shard was written by a
+thread on its node, so those pages are owned there).  A query thread then
+either (a) stays home and pulls every shard's pages across the network, or
+(b) *migrates to each shard in turn* and computes locally — the paper's
+"relocating the computation near data".  Same API, same result; the
+migrating plan moves kilobytes of context instead of megabytes of data.
+
+Run:  python examples/compute_follows_data.py
+"""
+
+import numpy as np
+
+from repro import DexCluster
+from repro.runtime import MemoryAllocator
+from repro.runtime.array import alloc_array
+
+NODES = 4
+SHARD_ELEMS = 64_000  # 500 KB per shard
+
+
+def build_cluster():
+    cluster = DexCluster(num_nodes=NODES)
+    proc = cluster.create_process()
+    alloc = MemoryAllocator(proc)
+    shards = [
+        alloc_array(alloc, np.float64, SHARD_ELEMS, name=f"shard{k}",
+                    page_aligned=True)
+        for k in range(NODES)
+    ]
+
+    def loader(ctx, k):
+        # each shard is produced on its node, so its pages live there
+        yield from ctx.migrate(k)
+        rng = np.random.default_rng(k)
+        yield from shards[k].write(ctx, 0, rng.uniform(0, 1, SHARD_ELEMS))
+        yield from ctx.compute(cpu_us=200.0)
+        yield from ctx.migrate_back()
+
+    loaders = [proc.spawn_thread(loader, k) for k in range(NODES)]
+
+    def wait(ctx):
+        yield from proc.join_all(loaders)
+
+    cluster.simulate(wait, proc)
+    return cluster, proc, shards
+
+
+def query(ctx, shards, move_compute):
+    total = 0.0
+    start = ctx.now
+    for k, shard in enumerate(shards):
+        if move_compute:
+            yield from ctx.migrate(k)  # go to the data
+        data = yield from shard.read(ctx, site="query:scan")
+        yield from ctx.compute(cpu_us=200.0, mem_bytes=shard.nbytes)
+        total += float(data.sum())
+    if move_compute:
+        yield from ctx.migrate_back()
+    return total, ctx.now - start
+
+
+def main():
+    results = {}
+    for move_compute, label in ((False, "data-to-compute"),
+                                (True, "compute-to-data")):
+        cluster, proc, shards = build_cluster()
+        thread = proc.spawn_thread(query, shards, move_compute, name="query")
+
+        def wait(ctx):
+            result = yield from proc.join_all([thread])
+            return result[0]
+
+        total, elapsed = cluster.simulate(wait, proc)
+        moved = proc.stats.pages_transferred
+        results[label] = (total, elapsed, moved)
+        print(f"{label:16s}: sum={total:12.1f}  time={elapsed/1000:7.2f} ms  "
+              f"pages moved={moved}")
+
+    pull_total, pull_time, _ = results["data-to-compute"]
+    go_total, go_time, _ = results["compute-to-data"]
+    assert abs(pull_total - go_total) < 1e-6, "answers must agree"
+    print(f"\nmigrating the thread to the data is "
+          f"{pull_time / go_time:.1f}x faster here — the execution context "
+          f"is far smaller than the shards.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Shim for environments without the `wheel` package, where modern
+PEP-517 editable installs (`pip install -e .`) cannot build an editable
+wheel.  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

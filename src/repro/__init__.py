@@ -1,0 +1,46 @@
+"""repro — a reproduction of *DeX: Scaling Applications Beyond Machine
+Boundaries* (ICDCS 2020) on a simulated rack.
+
+DeX is an operating-system extension that lets the threads of an ordinary
+process migrate between machines through a single function call, while a
+page-level memory-consistency protocol keeps their shared address space
+sequentially consistent.  This package implements the full system — thread
+migration, work delegation, the ownership protocol, distributed futexes,
+on-demand VMA synchronization, the InfiniBand-like messaging layer, and the
+application-adaptation toolchain — on a deterministic discrete-event
+simulation of the paper's eight-node testbed.
+
+Quick start::
+
+    from repro import DexCluster
+
+    cluster = DexCluster(num_nodes=4)
+    proc = cluster.create_process()
+    ...
+
+See README.md and the ``examples/`` directory.
+"""
+
+from repro.core import (
+    DexCluster,
+    DexError,
+    DexProcess,
+    DexThread,
+    SegmentationFault,
+    ThreadContext,
+)
+from repro.params import DEFAULT_PARAMS, SimParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_PARAMS",
+    "DexCluster",
+    "DexError",
+    "DexProcess",
+    "DexThread",
+    "SegmentationFault",
+    "SimParams",
+    "ThreadContext",
+    "__version__",
+]

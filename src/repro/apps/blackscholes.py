@@ -1,0 +1,185 @@
+"""BLK — PARSEC blackscholes (pthread version, 'native'-scale input).
+
+Prices a batch of European options with the closed-form Black–Scholes
+formula.  Inputs are read-only and outputs are partitioned per thread, so
+the application is *scale-ready*: the paper reports BLK scaling linearly
+in its initial two-line port.  The optimized variant page-aligns the
+per-thread output slices (the only cross-thread pages in the program),
+a marginal win.
+"""
+
+from __future__ import annotations
+
+from math import sqrt
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.apps import workloads
+from repro.apps.common import (
+    AdaptationInfo,
+    AppResult,
+    check_variant,
+    fresh_process,
+    plan_nodes,
+    run_workers,
+)
+from repro.params import SimParams
+from repro.runtime.array import DistArray, alloc_array
+
+#: pricing one option (log, sqrt, two erf evaluations)
+CPU_US_PER_OPTION = 0.8
+CHUNK = 8192
+FIELDS = ("spot", "strike", "rate", "volatility", "maturity")
+
+ADAPTATION = AdaptationInfo(
+    multithread_impl="pthread",
+    initial_loc=2,
+    optimized_loc=6,
+    notes="1 line each for forward/backward migration; optimization "
+    "page-aligns the per-thread output slices",
+)
+
+
+def _erf(x: np.ndarray) -> np.ndarray:
+    from scipy.special import erf
+
+    return erf(x)
+
+
+def _price_arrays(
+    s: np.ndarray,
+    k: np.ndarray,
+    r: np.ndarray,
+    v: np.ndarray,
+    t: np.ndarray,
+    is_call: np.ndarray,
+) -> np.ndarray:
+    d1 = (np.log(s / k) + (r + v * v / 2.0) * t) / (v * np.sqrt(t))
+    d2 = d1 - v * np.sqrt(t)
+    cnd1 = 0.5 * (1.0 + _erf(d1 / sqrt(2.0)))
+    cnd2 = 0.5 * (1.0 + _erf(d2 / sqrt(2.0)))
+    call = s * cnd1 - k * np.exp(-r * t) * cnd2
+    put = call - s + k * np.exp(-r * t)
+    return np.where(is_call, call, put)
+
+
+def _price(batch: workloads.OptionBatch, lo: int, hi: int) -> np.ndarray:
+    return _price_arrays(
+        batch.spot[lo:hi],
+        batch.strike[lo:hi],
+        batch.rate[lo:hi],
+        batch.volatility[lo:hi],
+        batch.maturity[lo:hi],
+        batch.is_call[lo:hi],
+    )
+
+
+def reference(n_options: int, seed: int = 13) -> np.ndarray:
+    batch = workloads.option_batch(n_options, seed)
+    return _price(batch, 0, n_options)
+
+
+def run(
+    num_nodes: int = 1,
+    variant: str = "initial",
+    threads_per_node: int = 8,
+    n_options: int = 400_000,
+    params: Optional[SimParams] = None,
+    tracer=None,
+    seed: int = 13,
+) -> AppResult:
+    """Run BLK; output is the option price vector."""
+    check_variant(variant)
+    cluster, proc, alloc = fresh_process(num_nodes, params)
+    if tracer is not None:
+        proc.attach_tracer(tracer)
+    nodes = plan_nodes(cluster, num_nodes)
+    num_threads = threads_per_node * num_nodes
+    migrate = variant != "unmodified"
+    optimized = variant == "optimized"
+
+    batch = workloads.option_batch(n_options, seed)
+    expected = _price(batch, 0, n_options)
+
+    inputs = {
+        name: alloc_array(alloc, np.float64, n_options, name=name,
+                          page_aligned=True)
+        for name in FIELDS
+    }
+    flags = alloc_array(alloc, np.uint8, n_options, name="is_call",
+                        page_aligned=True)
+    part = (n_options + num_threads - 1) // num_threads
+    if optimized:
+        outputs = [
+            alloc_array(alloc, np.float64, min(part, n_options - i * part),
+                        name=f"out{i}", page_aligned=True)
+            for i in range(num_threads)
+            if i * part < n_options
+        ]
+    else:
+        # one contiguous output vector: adjacent threads share the pages
+        # at their partition boundaries
+        whole = alloc_array(alloc, np.float64, n_options, name="out")
+        outputs = [
+            DistArray(whole.addr + i * part * 8, np.float64,
+                      min(part, n_options - i * part), name=f"out{i}")
+            for i in range(num_threads)
+            if i * part < n_options
+        ]
+
+    def body(ctx, wid: int) -> Generator:
+        lo = wid * part
+        hi = min(lo + part, n_options)
+        if lo >= hi:
+            return
+        pos = lo
+        while pos < hi:
+            take = min(CHUNK, hi - pos)
+            # the prices are computed from what the DSM actually delivers
+            values = {}
+            for name in FIELDS:
+                values[name] = yield from inputs[name].read(
+                    ctx, pos, pos + take, site="blk:inputs"
+                )
+            raw_flags = yield from ctx.read(flags.addr + pos, take,
+                                            site="blk:inputs")
+            is_call = np.frombuffer(raw_flags, dtype=np.uint8).astype(bool)
+            yield from ctx.compute(
+                cpu_us=take * CPU_US_PER_OPTION, mem_bytes=take * 48
+            )
+            prices = _price_arrays(
+                values["spot"], values["strike"], values["rate"],
+                values["volatility"], values["maturity"], is_call,
+            )
+            yield from outputs[wid].write(ctx, pos - lo, prices,
+                                          site="blk:output")
+            pos += take
+
+    def setup(ctx) -> Generator:
+        for name in FIELDS:
+            yield from inputs[name].write(ctx, 0, getattr(batch, name))
+        yield from ctx.write(flags.addr,
+                             batch.is_call.astype(np.uint8).tobytes())
+
+    cluster.simulate(setup, proc)
+    elapsed = run_workers(cluster, proc, body, num_threads, nodes, migrate)
+
+    def collect(ctx) -> Generator:
+        parts = []
+        for out in outputs:
+            data = yield from out.read(ctx)
+            parts.append(data)
+        return np.concatenate(parts)
+
+    output = cluster.simulate(collect, proc)
+    return AppResult(
+        app="BLK",
+        variant=variant,
+        num_nodes=num_nodes,
+        num_threads=num_threads,
+        elapsed_us=elapsed,
+        output=output,
+        stats=proc.stats,
+        correct=bool(np.allclose(output, expected)),
+    )

@@ -1,0 +1,14 @@
+"""Polymer-like NUMA-aware graph analytics (§V: BFS and BP).
+
+Polymer is a graph engine that co-locates per-node (NUMA-node) data with
+the threads that use it.  This package rebuilds its essentials on DeX:
+
+* :mod:`repro.apps.polymer.graph` — CSR graphs in distributed memory with
+  per-node vertex partitions;
+* :mod:`repro.apps.polymer.engine` — the per-node frontier/flag machinery
+  in its *initial* (shared, libNUMA calls replaced by plain malloc, §V-A)
+  and *optimized* (page-aligned per-node structures, locally-staged flags,
+  §V-C) layouts;
+* :mod:`repro.apps.polymer.bfs` / :mod:`repro.apps.polymer.bp` — the two
+  applications the paper evaluates.
+"""

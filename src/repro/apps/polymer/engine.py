@@ -1,0 +1,68 @@
+"""Polymer's per-node frontier machinery, in both layouts.
+
+The *initial* port (§V-A) replaces Polymer's ``numa_alloc_local`` calls
+with plain ``malloc`` — so the frontier arrays, the per-node staging
+buffers, and the continue-flag all come from one bump-allocated run of the
+heap and share pages across nodes.  The *optimized* port (§V-C) restores
+the intent on DeX: per-node structures are page-aligned, the flag lives
+alone, and per-thread updates are staged locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.runtime.alloc import MemoryAllocator
+from repro.runtime.array import DistArray, alloc_array
+
+
+@dataclass
+class FrontierState:
+    """Byte-per-vertex frontier arrays plus per-node staging buffers.
+
+    ``current[parity]`` holds this level's frontier; workers push
+    discoveries either straight into the other parity (initial) or into
+    their node's ``staging`` buffer, which per-node leaders merge at the
+    level barrier (optimized).
+    """
+
+    current: List[DistArray]          # two parities
+    staging: List[DistArray]          # one per node (optimized layout)
+    go: DistArray                     # per-level continue counts
+    flag_addr: int                    # the §IV-C globally-shared flag
+
+    def frontier(self, level: int) -> DistArray:
+        return self.current[level % 2]
+
+    def next_frontier(self, level: int) -> DistArray:
+        return self.current[1 - level % 2]
+
+
+def make_frontier_state(
+    alloc: MemoryAllocator,
+    n_vertices: int,
+    num_nodes: int,
+    max_levels: int,
+    optimized: bool,
+) -> FrontierState:
+    aligned = optimized
+    current = [
+        alloc_array(alloc, np.uint8, n_vertices, name=f"frontier{p}",
+                    page_aligned=aligned)
+        for p in range(2)
+    ]
+    staging = [
+        alloc_array(alloc, np.uint8, n_vertices, name=f"staging{k}",
+                    page_aligned=aligned)
+        for k in range(num_nodes)
+    ]
+    go = alloc_array(alloc, np.int64, max_levels, name="go",
+                     segment="globals", page_aligned=aligned)
+    flag_addr = alloc.alloc_global(
+        8, align=alloc.page_size if aligned else 8, tag="frontier_flag"
+    )
+    return FrontierState(current=current, staging=staging, go=go,
+                         flag_addr=flag_addr)

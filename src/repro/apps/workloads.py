@@ -1,0 +1,172 @@
+"""Synthetic workload generators (the paper's inputs, scaled down).
+
+* :func:`text_corpus` — stands in for the 8 GB Wikipedia text GRP scans;
+* :func:`clustered_points` — the 5M-point 3-D k-means input;
+* :func:`option_batch` — PARSEC blackscholes 'native'-style option batch;
+* :func:`rmat_graph` — the R-MAT generator Polymer's inputs came from,
+  with the Graph500 parameters the paper cites (a=0.57, b=0.19).
+
+All generators are deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+DEFAULT_KEYS = (b"popcorn", b"kernel", b"migrate", b"infiniband")
+
+
+def text_corpus(
+    size_bytes: int,
+    keys: Sequence[bytes] = DEFAULT_KEYS,
+    seed: int = 7,
+    plant_every: int = 8000,
+) -> bytes:
+    """Random lowercase text with the search keys planted roughly every
+    *plant_every* bytes.
+
+    Key occurrences are spread uniformly so every partition finds some —
+    which is what makes GRP's global occurrence counter contended."""
+    rng = np.random.default_rng(seed)
+    text = rng.integers(ord("a"), ord("z") + 1, size=size_bytes, dtype=np.uint8)
+    # sprinkle spaces for realism
+    text[rng.random(size_bytes) < 0.15] = ord(" ")
+    buffer = bytearray(text.tobytes())
+    n_plants = max(size_bytes // plant_every, len(keys))
+    positions = rng.integers(0, max(size_bytes - 16, 1), size=n_plants)
+    for i, pos in enumerate(sorted(positions)):
+        key = keys[i % len(keys)]
+        buffer[pos : pos + len(key)] = key
+    return bytes(buffer)
+
+
+def count_occurrences(text: bytes, keys: Sequence[bytes]) -> List[int]:
+    """Reference (non-overlapping) occurrence counts."""
+    return [text.count(key) for key in keys]
+
+
+def clustered_points(
+    n_points: int, n_clusters: int, dim: int = 3, seed: int = 11
+) -> np.ndarray:
+    """Points drawn around *n_clusters* well-separated centers."""
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-100.0, 100.0, size=(n_clusters, dim))
+    labels = rng.integers(0, n_clusters, size=n_points)
+    return (centers[labels] + rng.normal(0.0, 2.0, size=(n_points, dim))).astype(
+        np.float64
+    )
+
+
+@dataclass
+class OptionBatch:
+    """Black–Scholes inputs: spot, strike, risk-free rate, volatility,
+    time-to-maturity, and call/put flag."""
+
+    spot: np.ndarray
+    strike: np.ndarray
+    rate: np.ndarray
+    volatility: np.ndarray
+    maturity: np.ndarray
+    is_call: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.spot)
+
+
+def option_batch(n_options: int, seed: int = 13) -> OptionBatch:
+    rng = np.random.default_rng(seed)
+    return OptionBatch(
+        spot=rng.uniform(20.0, 180.0, n_options),
+        strike=rng.uniform(20.0, 180.0, n_options),
+        rate=np.full(n_options, 0.02),
+        volatility=rng.uniform(0.1, 0.6, n_options),
+        maturity=rng.uniform(0.05, 2.0, n_options),
+        is_call=rng.random(n_options) < 0.5,
+    )
+
+
+def black_scholes_reference(batch: OptionBatch) -> np.ndarray:
+    """Closed-form prices (the reference every BLK run is checked against)."""
+    from math import erf, exp, log, sqrt
+
+    out = np.empty(len(batch))
+    for i in range(len(batch)):
+        s, k = batch.spot[i], batch.strike[i]
+        r, v, t = batch.rate[i], batch.volatility[i], batch.maturity[i]
+        d1 = (log(s / k) + (r + v * v / 2.0) * t) / (v * sqrt(t))
+        d2 = d1 - v * sqrt(t)
+        cnd = lambda x: 0.5 * (1.0 + erf(x / sqrt(2.0)))  # noqa: E731
+        call = s * cnd(d1) - k * exp(-r * t) * cnd(d2)
+        if batch.is_call[i]:
+            out[i] = call
+        else:
+            out[i] = call - s + k * exp(-r * t)  # put-call parity
+    return out
+
+
+def rmat_graph(
+    n_vertices: int,
+    n_edges: int,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 17,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """An R-MAT graph in CSR form ``(indptr, indices)``.
+
+    Recursive quadrant descent with the Graph500 parameters the paper used
+    (α=0.57, β=0.19; the remaining mass splits between c and d).  Self
+    loops are kept (as Graph500 does); duplicate edges are removed.
+    """
+    if n_vertices & (n_vertices - 1):
+        # round up to a power of two for clean quadrant descent
+        n_vertices = 1 << (n_vertices - 1).bit_length()
+    levels = n_vertices.bit_length() - 1
+    rng = np.random.default_rng(seed)
+    # vectorized R-MAT: one quadrant decision per (edge, level)
+    probs = rng.random((n_edges, levels))
+    src = np.zeros(n_edges, dtype=np.int64)
+    dst = np.zeros(n_edges, dtype=np.int64)
+    p_a, p_ab, p_abc = a, a + b, a + b + c
+    for level in range(levels):
+        bit = 1 << (levels - 1 - level)
+        p = probs[:, level]
+        in_b = (p >= p_a) & (p < p_ab)
+        in_c = (p >= p_ab) & (p < p_abc)
+        in_d = p >= p_abc
+        dst[in_b | in_d] += bit
+        src[in_c | in_d] += bit
+    # symmetrize (Polymer's inputs are undirected) and dedupe
+    all_src = np.concatenate([src, dst])
+    all_dst = np.concatenate([dst, src])
+    order = np.lexsort((all_dst, all_src))
+    all_src, all_dst = all_src[order], all_dst[order]
+    keep = np.ones(len(all_src), dtype=bool)
+    keep[1:] = (all_src[1:] != all_src[:-1]) | (all_dst[1:] != all_dst[:-1])
+    all_src, all_dst = all_src[keep], all_dst[keep]
+    indptr = np.zeros(n_vertices + 1, dtype=np.int64)
+    np.add.at(indptr, all_src + 1, 1)
+    indptr = np.cumsum(indptr)
+    return indptr, all_dst.astype(np.int64)
+
+
+def bfs_reference(indptr: np.ndarray, indices: np.ndarray, source: int) -> np.ndarray:
+    """Single-threaded BFS distances (-1 = unreachable)."""
+    n = len(indptr) - 1
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = [source]
+    level = 0
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for v in indices[indptr[u] : indptr[u + 1]]:
+                if dist[v] < 0:
+                    dist[v] = level + 1
+                    nxt.append(int(v))
+        frontier = nxt
+        level += 1
+    return dist

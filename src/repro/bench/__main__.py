@@ -1,0 +1,76 @@
+"""CLI: ``python -m repro.bench <experiment>``.
+
+Experiments: table1, table2, figure2, figure3, pagefault, ablation, all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps import APP_NAMES
+from repro.bench import experiments, reporting
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the tables and figures of the DeX paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["table1", "table2", "figure2", "figure3", "pagefault",
+                 "ablation", "all"],
+    )
+    parser.add_argument(
+        "--apps", nargs="*", default=list(APP_NAMES),
+        help="apps for figure2 (default: all eight)",
+    )
+    parser.add_argument(
+        "--nodes", nargs="*", type=int, default=[1, 2, 4, 8],
+        help="node counts for figure2",
+    )
+    parser.add_argument(
+        "--scale", choices=["small", "paper"], default="small",
+        help="workload scale: 'small' runs in seconds, 'paper' uses the "
+        "full scaled-down defaults",
+    )
+    args = parser.parse_args(argv)
+    todo = (
+        ["table1", "table2", "figure3", "pagefault", "figure2", "ablation"]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    for name in todo:
+        if name == "table1":
+            print(reporting.render_table1(experiments.table1()))
+        elif name == "table2":
+            print(reporting.render_table2(experiments.migration_microbench()))
+        elif name == "figure3":
+            print(reporting.render_figure3(experiments.migration_microbench()))
+        elif name == "pagefault":
+            print(reporting.render_pagefault(experiments.pagefault_micro()))
+        elif name == "figure2":
+            points = experiments.figure2(
+                apps=args.apps, node_counts=args.nodes, scale=args.scale
+            )
+            print(reporting.render_figure2(points))
+        elif name == "ablation":
+            print(reporting.render_ablation(
+                "Ablation: leader-follower fault coalescing (§III-C)",
+                experiments.ablation_coalescing(),
+            ))
+            print(reporting.render_ablation(
+                "Ablation: page-data transfer path (§III-E)",
+                experiments.ablation_transfer_mode(),
+            ))
+            print(reporting.render_ablation(
+                "Ablation: data-transfer skip for up-to-date copies (§III-B)",
+                experiments.ablation_transfer_skip(),
+            ))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

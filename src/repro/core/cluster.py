@@ -1,0 +1,151 @@
+"""The top-level public API: a simulated rack running DeX.
+
+Typical usage::
+
+    from repro import DexCluster
+
+    cluster = DexCluster(num_nodes=4)
+    proc = cluster.create_process()
+
+    def worker(ctx, node, out_addr):
+        yield from ctx.migrate(node)            # ship this thread out
+        yield from ctx.compute(cpu_us=100.0)    # work with remote cores
+        yield from ctx.write_i64(out_addr, 42)  # through shared memory
+        yield from ctx.migrate_back()
+
+    threads = [proc.spawn_thread(worker, n, 0x10000000 + 8 * n)
+               for n in range(4)]
+
+    def main(ctx):
+        yield from proc.join_all(threads)
+
+    cluster.simulate(main, proc)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.core.errors import DexError
+from repro.core.process import DexProcess
+from repro.net.fabric import Network
+from repro.net.messages import Message, MsgType
+from repro.params import SimParams
+from repro.sim import Engine, FairShareResource, Resource
+
+
+class DexNode:
+    """One machine of the rack: CPU cores + a DRAM bandwidth domain."""
+
+    def __init__(self, engine: Engine, node_id: int, params: SimParams):
+        self.node_id = node_id
+        self.cores = Resource(engine, params.cores_per_node, name=f"n{node_id}.cores")
+        self.dram = FairShareResource(
+            engine,
+            params.dram_bandwidth,
+            contention=params.dram_contention_model(),
+            name=f"n{node_id}.dram",
+        )
+
+
+class DexCluster:
+    """A rack of nodes connected by the simulated InfiniBand fabric, with
+    the DeX kernel extension 'loaded' on every node."""
+
+    def __init__(self, num_nodes: int = 8, params: Optional[SimParams] = None):
+        self.params = params if params is not None else SimParams()
+        self.engine = Engine()
+        self.net = Network(self.engine, num_nodes, self.params)
+        self.nodes: List[DexNode] = [
+            DexNode(self.engine, n, self.params) for n in range(num_nodes)
+        ]
+        self.processes: Dict[int, DexProcess] = {}
+        self._register_handlers()
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> DexNode:
+        return self.nodes[node_id]
+
+    # ------------------------------------------------------------------
+
+    def create_process(self, origin: int = 0, name: str = "") -> DexProcess:
+        """Create a new (initially single-node) process at *origin*."""
+        if not 0 <= origin < self.num_nodes:
+            raise DexError(f"no such node: {origin}")
+        proc = DexProcess(self, origin=origin, name=name)
+        self.processes[proc.pid] = proc
+        return proc
+
+    def simulate(
+        self,
+        main: Callable[..., Generator],
+        proc: Optional[DexProcess] = None,
+        *args: Any,
+        until: Optional[float] = None,
+    ) -> Any:
+        """Run *main(ctx, *args)* as a thread of *proc* (a fresh process by
+        default) and drive the simulation until everything completes.
+        Returns the main thread's result."""
+        if proc is None:
+            proc = self.create_process()
+        thread = proc.spawn_thread(main, *args, name="main")
+        self.engine.run(until=until)
+        if not thread.sim_process.triggered:
+            raise DexError(
+                "simulation ended before the main thread finished "
+                "(deadlock or `until` too small)"
+            )
+        return thread.result
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drive the simulation; returns the final time (microseconds)."""
+        return self.engine.run(until=until)
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    # ------------------------------------------------------------------
+
+    def _register_handlers(self) -> None:
+        """Wire every node's router to the per-process protocol services.
+        Messages carry the target pid in their payload."""
+        routes = {
+            MsgType.PAGE_REQUEST: lambda p: p.protocol.handle_page_request_msg,
+            MsgType.PAGE_INVALIDATE: lambda p: p.protocol.handle_invalidate_msg,
+            MsgType.MIGRATE: lambda p: p.migration.handle_migrate_msg,
+            MsgType.MIGRATE_BACK: lambda p: p.migration.handle_migrate_back_msg,
+            MsgType.DELEGATE: lambda p: p.delegation.handle_delegate,
+            MsgType.VMA_QUERY: lambda p: p.vma_sync.handle_query,
+            MsgType.VMA_SHRINK: lambda p: p.vma_sync.handle_shrink,
+            MsgType.PROCESS_EXIT: lambda p: p.handle_exit_msg,
+        }
+
+        def make_dispatcher(getter):
+            def dispatcher(msg: Message) -> Generator:
+                proc = self.processes.get(msg.payload.get("pid"))
+                if proc is None:
+                    raise DexError(f"message for unknown process: {msg!r}")
+                yield from getter(proc)(msg)
+
+            return dispatcher
+
+        def ping_handler(msg: Message) -> Generator:
+            yield from self.net.send(msg.make_reply(MsgType.PONG, {"ok": True}))
+
+        for router in self.net.routers:
+            for msg_type, getter in routes.items():
+                router.register(msg_type, make_dispatcher(getter))
+            router.register(MsgType.PING, ping_handler)
+
+    # ------------------------------------------------------------------
+
+    def ping(self, src: int, dst: int) -> Generator:
+        """Round-trip a small message (latency microbenchmark helper);
+        returns the round-trip time in microseconds."""
+        start = self.engine.now
+        yield from self.net.request(Message(MsgType.PING, src=src, dst=dst))
+        return self.engine.now - start

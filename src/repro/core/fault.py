@@ -1,0 +1,228 @@
+"""Page-fault handling with leader-follower coalescing (§III-C).
+
+Each node keeps a per-process table of in-flight faults ("a per-process
+hash table to track all ongoing fault handling").  The first thread to
+fault on a page becomes the **leader** and runs the consistency protocol;
+threads faulting on the same page with a compatible access type become
+**followers** and simply wait for the leader's PTE update.  A follower (or
+a thread whose needed access type the leader's grant does not cover)
+re-checks the PTE after the leader finishes and loops, possibly becoming a
+leader itself.
+
+The fast path — an access whose PTE already permits it — costs nothing and,
+crucially, never yields to the engine, so local accesses of a single-node
+run are free, exactly like MMU hits on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional
+
+from repro.core.errors import SegmentationFault
+from repro.core.stats import FaultRecord
+from repro.memory.page_table import PageState
+from repro.sim import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.process import DexProcess
+
+
+@dataclass
+class InFlightFault:
+    """One ongoing fault at one node, visible to followers and to
+    invalidation handlers (which must not revoke a page mid-install)."""
+
+    vpn: int
+    write: bool
+    leader_tid: int
+    done: Event
+    #: set synchronously when the grant arrives; from that point until
+    #: ``done``, an invalidation for this page must wait
+    installing: bool = False
+
+
+class FaultHandler:
+    """Per-process fault path; drives :class:`ConsistencyProtocol`."""
+
+    def __init__(self, proc: "DexProcess"):
+        self.proc = proc
+
+    # ------------------------------------------------------------------
+
+    def permits(self, node: int, vpn: int, write: bool) -> bool:
+        """Fast-path check: may *node* access *vpn* without a fault?"""
+        proc = self.proc
+        pte = proc.node_state(node).page_table.lookup(vpn)
+        if pte is not None:
+            return pte.writable if write else pte.readable
+        if node == proc.origin:
+            # no PTE and no directory entry: implicitly exclusive at origin
+            return proc.protocol.directory.lookup(vpn) is None
+        return False
+
+    def ensure_page(
+        self, node: int, tid: int, vpn: int, write: bool, site: str = ""
+    ) -> Generator:
+        """Make *vpn* accessible at *node*; the fast path falls straight
+        through without yielding."""
+        proc = self.proc
+        if self.permits(node, vpn, write):
+            return
+        yield from self._fault(node, tid, vpn, write, site)
+
+    def ensure_range(
+        self, node: int, tid: int, addr: int, nbytes: int, write: bool, site: str = ""
+    ) -> Generator:
+        """Make every page of ``[addr, addr+nbytes)`` accessible."""
+        page = self.proc.cluster.params.page_size
+        vpn = addr // page
+        last = (addr + max(nbytes, 1) - 1) // page
+        while vpn <= last:
+            yield from self.ensure_page(node, tid, vpn, write, site)
+            vpn += 1
+
+    # ------------------------------------------------------------------
+
+    def _fault(
+        self, node: int, tid: int, vpn: int, write: bool, site: str
+    ) -> Generator:
+        proc = self.proc
+        engine = proc.cluster.engine
+        params = proc.cluster.params
+        state = proc.node_state(node)
+        started = engine.now
+        yield engine.timeout(params.fault_trap_cost)
+        # VMA check — may run the on-demand sync, may raise SegmentationFault
+        vma = yield from proc.vma_sync.ensure_vma(
+            node, vpn * params.page_size, write
+        )
+        if proc.tracer is not None:
+            proc.tracer.record(
+                time_us=engine.now,
+                node=node,
+                tid=tid,
+                fault_type="write" if write else "read",
+                site=site,
+                addr=vpn * params.page_size,
+                tag=vma.tag,
+            )
+        coalesced = False
+        while True:
+            if self.permits(node, vpn, write):
+                break
+            yield engine.timeout(params.fault_coalesce_lookup_cost)
+            flist = state.inflight.get(vpn)
+            active = [f for f in flist if not f.done.triggered] if flist else []
+            if active and params.enable_fault_coalescing:
+                leader = active[0]
+                if leader.write or not write:
+                    # compatible access type: follow (§III-C) — the
+                    # leader's grant covers our access
+                    coalesced = True
+                yield leader.done
+                continue  # re-check the PTE, maybe become leader
+            # become the leader for this page fault
+            fault = InFlightFault(
+                vpn=vpn,
+                write=write,
+                leader_tid=tid,
+                done=engine.event(name=f"fault@{vpn:#x}"),
+            )
+            if flist is None:
+                flist = state.inflight[vpn] = []
+            flist.append(fault)
+            try:
+                retries = yield from proc.protocol.acquire_page(
+                    node, vpn, write, fault
+                )
+            finally:
+                # trigger synchronously with the final PTE update so that
+                # waiters (followers, invalidations) run strictly after it
+                fault.done.succeed()
+                flist.remove(fault)
+                if not flist:
+                    del state.inflight[vpn]
+            proc.stats.fault_retries += retries
+            record = FaultRecord(
+                vpn=vpn,
+                node=node,
+                write=write,
+                latency_us=engine.now - started,
+                retries=retries,
+                coalesced=False,
+            )
+            proc.stats.record_fault(record)
+            return
+        if coalesced:
+            proc.stats.record_fault(
+                FaultRecord(
+                    vpn=vpn,
+                    node=node,
+                    write=write,
+                    latency_us=engine.now - started,
+                    retries=0,
+                    coalesced=True,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # data-plane entry points: fault + synchronous byte access
+    # ------------------------------------------------------------------
+
+    def read(
+        self, node: int, tid: int, addr: int, nbytes: int, site: str = ""
+    ) -> Generator:
+        """Read *nbytes* through the distributed address space.  Each page
+        is touched synchronously right after it is secured, so per-page
+        reads are sequentially consistent."""
+        proc = self.proc
+        page = proc.cluster.params.page_size
+        out = bytearray()
+        pos = addr
+        end = addr + nbytes
+        while pos < end:
+            vpn = pos // page
+            take = min(end - pos, (vpn + 1) * page - pos)
+            yield from self.ensure_page(node, tid, vpn, False, site)
+            out += proc.node_state(node).frames.read(pos, take)
+            pos += take
+        return bytes(out)
+
+    def write(
+        self, node: int, tid: int, addr: int, data: bytes, site: str = ""
+    ) -> Generator:
+        """Write *data* through the distributed address space."""
+        proc = self.proc
+        page = proc.cluster.params.page_size
+        pos = 0
+        end = len(data)
+        while pos < end:
+            vpn = (addr + pos) // page
+            take = min(end - pos, (vpn + 1) * page - (addr + pos))
+            yield from self.ensure_page(node, tid, vpn, True, site)
+            proc.node_state(node).frames.write(addr + pos, data[pos : pos + take])
+            pos += take
+
+    def atomic_update(
+        self, node: int, tid: int, addr: int, nbytes: int, fn, site: str = ""
+    ) -> Generator:
+        """Atomically read-modify-write *nbytes* at *addr* (must not cross
+        a page).  *fn(old_bytes) -> new_bytes*.  Exclusive ownership plus
+        the engine's run-to-yield semantics make the update atomic.
+        Returns the old bytes."""
+        proc = self.proc
+        page = proc.cluster.params.page_size
+        vpn = addr // page
+        if (addr + nbytes - 1) // page != vpn:
+            raise ValueError(
+                f"atomic update crosses a page boundary: {addr:#x}+{nbytes}"
+            )
+        yield from self.ensure_page(node, tid, vpn, True, site)
+        frames = proc.node_state(node).frames
+        old = frames.read(addr, nbytes)
+        new = fn(old)
+        if len(new) != nbytes:
+            raise ValueError("atomic update changed the operand size")
+        frames.write(addr, new)
+        return old

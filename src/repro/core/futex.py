@@ -1,0 +1,84 @@
+"""The distributed futex (§III-A).
+
+"DeX supports futexes [...] the core mechanism for implementing thread
+synchronization primitives on Linux.  When a remote thread calls a thread
+synchronization operation, the operation is effectively translated to one
+or more futex system calls.  The futex operations are forwarded to their
+original threads and handled at the origin through the original futex
+implementation."
+
+The wait queue lives at the origin.  The value check of ``futex_wait``
+reads the futex word *through the distributed address space at the origin*,
+so a futex word that is exclusively owned by some remote node is pulled
+back by the consistency protocol exactly as it would be in the real system.
+The check and the enqueue happen with no intervening yield, giving the
+atomicity the kernel gets from the futex hash-bucket lock.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, Generator
+
+from repro.sim import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.process import DexProcess
+
+#: futex words are 32-bit integers, as on Linux
+FUTEX_WORD = 4
+
+
+class FutexTable:
+    """Per-process futex wait queues, kept at the origin."""
+
+    def __init__(self, proc: "DexProcess"):
+        self.proc = proc
+        self._queues: Dict[int, Deque[Event]] = {}
+
+    def read_word(self, addr: int) -> int:
+        """Synchronous read of the futex word from the origin's frames.
+        Callers must have faulted the page to the origin first."""
+        raw = self.proc.node_state(self.proc.origin).frames.read(addr, FUTEX_WORD)
+        return struct.unpack("<I", raw)[0]
+
+    def wait(self, origin_ctx, addr: int, expected: int) -> Generator:
+        """FUTEX_WAIT at the origin: if the word still equals *expected*,
+        sleep until woken; otherwise return ``"eagain"`` immediately.
+
+        *origin_ctx* is the execution context of the paired original
+        thread; its fault path pulls the futex page to the origin.
+        """
+        proc = self.proc
+        params = proc.cluster.params
+        proc.stats.futex_waits += 1
+        yield proc.cluster.engine.timeout(params.futex_op_cost)
+        # fault the futex page to the origin (read access), then compare
+        # and enqueue atomically (no yields in between)
+        yield from origin_ctx.fault_in(addr, FUTEX_WORD, write=False)
+        if self.read_word(addr) != expected:
+            return "eagain"
+        waiter = proc.cluster.engine.event(name=f"futex@{addr:#x}")
+        self._queues.setdefault(addr, deque()).append(waiter)
+        yield waiter
+        return "woken"
+
+    def wake(self, origin_ctx, addr: int, count: int) -> Generator:
+        """FUTEX_WAKE at the origin: wake up to *count* waiters; returns
+        how many were woken."""
+        proc = self.proc
+        params = proc.cluster.params
+        proc.stats.futex_wakes += 1
+        yield proc.cluster.engine.timeout(params.futex_op_cost)
+        queue = self._queues.get(addr)
+        woken = 0
+        while queue and woken < count:
+            queue.popleft().succeed()
+            woken += 1
+        if queue is not None and not queue:
+            del self._queues[addr]
+        return woken
+
+    def waiter_count(self, addr: int) -> int:
+        return len(self._queues.get(addr, ()))

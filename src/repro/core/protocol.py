@@ -1,0 +1,449 @@
+"""The page-level memory-consistency protocol (§III-B).
+
+A read-replicate / write-invalidate, multiple-reader / single-writer
+protocol providing sequential consistency:
+
+* Pages start implicitly **exclusive at the origin** — a process that never
+  migrates never touches the directory.
+* A **read** fault gets a shared replica: if some node holds the page
+  exclusively, that writer is downgraded and its dirty data flushed to the
+  origin first.
+* A **write** fault gets exclusive ownership: the origin revokes ownership
+  from every other owner (including itself) and collects acknowledgements;
+  a revoked exclusive owner flushes its dirty page back with the ack.
+* Page data accompanies a grant only when the requester's cached copy is
+  stale ("the origin simply grants ownership without transferring the page
+  data when the remote already has the up-to-date one").
+* The directory serializes operations per page with a busy flag; a request
+  that catches the page mid-operation is told to **retry** and backs off —
+  the slow mode of §V-D's bimodal fault-latency distribution.
+
+Timing-race note: a grant reply and a subsequent invalidation for the same
+page travel the same in-order RC connection, so the grant is always
+*dispatched* first; the requester marks its in-flight fault ``installing``
+synchronously upon receiving the grant, and the invalidation handler waits
+for installing faults to finish before revoking.  This mirrors the careful
+PTE-update ordering §III-C describes for the real kernel implementation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, List, Optional, Tuple
+
+from repro.core.errors import ProtocolError
+from repro.core.ownership import OwnershipDirectory, PageEntry
+from repro.memory.page_table import PageState
+from repro.net.messages import Message, MsgType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.fault import InFlightFault
+    from repro.core.process import DexProcess
+
+#: grant outcomes, shipped in reply payloads
+_RETRY = "retry"
+_GRANT = "grant"
+
+
+class ConsistencyProtocol:
+    """One instance per distributed process; the directory lives at the
+    process's origin node."""
+
+    def __init__(self, proc: "DexProcess"):
+        self.proc = proc
+        self.directory = OwnershipDirectory(proc.origin)
+
+    # ------------------------------------------------------------------
+    # requester side (runs at the faulting node, called by the leader)
+    # ------------------------------------------------------------------
+
+    def acquire_page(
+        self, node: int, vpn: int, write: bool, fault: "InFlightFault"
+    ) -> Generator:
+        """Obtain (shared or exclusive) ownership of *vpn* for *node*,
+        retrying with back-off when the directory is busy.  Installs the
+        page data and the PTE; returns the number of retries."""
+        proc = self.proc
+        engine = proc.cluster.engine
+        params = proc.cluster.params
+        page_table = proc.node_state(node).page_table
+        retries = 0
+        while True:
+            pte = page_table.ensure(vpn)
+            if pte.writable if write else pte.readable:
+                # resolved while we backed off (e.g. another fault on this
+                # node won an exclusive grant that covers us); requesting
+                # again could downgrade our own node's ownership
+                return retries
+            if node == proc.origin:
+                outcome = yield from self.handle_request(
+                    node, vpn, write, pte.data_version
+                )
+            else:
+                reply = yield from proc.cluster.net.request(
+                    Message(
+                        MsgType.PAGE_REQUEST,
+                        src=node,
+                        dst=proc.origin,
+                        payload={
+                            "pid": proc.pid,
+                            "vpn": vpn,
+                            "write": write,
+                            "known_version": pte.data_version,
+                        },
+                    )
+                )
+                outcome = (
+                    reply.payload["outcome"],
+                    reply.payload.get("state"),
+                    reply.payload.get("version", 0),
+                    reply.page_data,
+                )
+            status, state_name, version, data = outcome
+            if status == _RETRY:
+                retries += 1
+                yield engine.timeout(params.fault_retry_backoff)
+                continue
+            # mark installing *synchronously* with the grant arrival so a
+            # following invalidation (FIFO-ordered behind the grant) waits
+            fault.installing = True
+            if node != proc.origin:
+                frames = proc.node_state(node).frames
+                if data is not None:
+                    if vpn not in frames:
+                        yield engine.timeout(params.page_alloc_cost)
+                    frames.install(vpn, data)
+            yield engine.timeout(params.pte_update_cost)
+            # final PTE update is synchronous after the last yield: the
+            # caller's data access runs in the same engine step
+            pte = page_table.ensure(vpn)
+            pte.state = PageState(state_name)
+            pte.data_version = version
+            return retries
+
+    # ------------------------------------------------------------------
+    # origin directory side
+    # ------------------------------------------------------------------
+
+    def handle_page_request_msg(self, msg: Message) -> Generator:
+        """Origin message handler for :data:`MsgType.PAGE_REQUEST`."""
+        payload = msg.payload
+        yield from self.handle_request(
+            msg.src,
+            payload["vpn"],
+            payload["write"],
+            payload["known_version"],
+            reply_to=msg,
+        )
+
+    def handle_request(
+        self,
+        requester: int,
+        vpn: int,
+        write: bool,
+        known_version: int,
+        reply_to: Optional[Message] = None,
+    ) -> Generator:
+        """Resolve one ownership request at the origin.
+
+        Returns ``(status, state_name, version, data)`` where *data* is the
+        page bytes to install (None when the transfer is skipped or the
+        requester is the origin itself).
+
+        When *reply_to* is given (a remote request), the reply is posted
+        **before** the per-page busy flag clears: a later operation for the
+        same page must not be able to post an invalidation that overtakes
+        this grant on the in-order connection.
+        """
+        proc = self.proc
+        engine = proc.cluster.engine
+        params = proc.cluster.params
+        origin = proc.origin
+        entry, created = self.directory.get_or_create(vpn)
+        if created:
+            # materialize the origin's implicit exclusive ownership
+            proc.node_state(origin).page_table.set_state(
+                vpn, PageState.EXCLUSIVE, data_version=0
+            )
+            proc.node_state(origin).frames.frame(vpn)
+        if entry.busy:
+            # early-out: trylock on the per-page protocol state failed —
+            # the requester lost the race and must back off and retry
+            result = (_RETRY, None, 0, None)
+            if reply_to is not None:
+                yield from proc.cluster.net.send(
+                    reply_to.make_reply(MsgType.PAGE_RETRY, {"outcome": _RETRY})
+                )
+            return result
+        entry.busy = True
+        try:
+            yield engine.timeout(params.protocol_handler_cost)
+            if write:
+                result = yield from self._grant_exclusive(
+                    entry, requester, known_version
+                )
+            else:
+                result = yield from self._grant_shared(
+                    entry, requester, known_version
+                )
+            if reply_to is not None:
+                _status, state_name, version, data = result
+                yield from proc.cluster.net.send(
+                    reply_to.make_reply(
+                        MsgType.PAGE_GRANT,
+                        {
+                            "outcome": _GRANT,
+                            "state": state_name,
+                            "version": version,
+                        },
+                        page_data=data,
+                    )
+                )
+        finally:
+            entry.busy = False
+        return result
+
+    def _grant_exclusive(
+        self, entry: PageEntry, requester: int, known_version: int
+    ) -> Generator:
+        proc = self.proc
+        origin = proc.origin
+        if entry.writer == requester:
+            # the current writer re-requesting (a request that was already
+            # in flight when its earlier grant landed): reaffirm — it holds
+            # the only current copy, so there is nothing to move or bump
+            return (_GRANT, PageState.EXCLUSIVE.value, entry.data_version, None)
+        losers = sorted(entry.owners - {requester})
+        yield from self._revoke(entry, losers, downgrade=False)
+        current = entry.data_version
+        data = self._data_for_grant(entry, requester, known_version)
+        new_version = current + 1
+        entry.data_version = new_version
+        entry.owners = {requester}
+        entry.writer = requester
+        if requester == origin:
+            # local "install": the PTE update is done by acquire_page; the
+            # frame is already current at the origin after the revocations
+            pass
+        return (_GRANT, PageState.EXCLUSIVE.value, new_version, data)
+
+    def _grant_shared(
+        self, entry: PageEntry, requester: int, known_version: int
+    ) -> Generator:
+        proc = self.proc
+        origin = proc.origin
+        if entry.writer == requester:
+            # the exclusive writer re-requesting read access (a stale
+            # retry): its mapping already covers reads — reaffirm it;
+            # downgrading here would strand dirty data without a flush
+            return (_GRANT, PageState.EXCLUSIVE.value, entry.data_version, None)
+        if entry.writer is not None:
+            yield from self._revoke(entry, [entry.writer], downgrade=True)
+        entry.writer = None
+        current = entry.data_version
+        data = self._data_for_grant(entry, requester, known_version)
+        entry.owners.add(requester)
+        return (_GRANT, PageState.SHARED.value, current, data)
+
+    def _data_for_grant(
+        self, entry: PageEntry, requester: int, known_version: int
+    ) -> Optional[bytes]:
+        """Page bytes to attach to a grant, or None when the transfer is
+        skipped.  The transfer is always skippable when the requester holds
+        the current version; when it does not, the revocation step has left
+        current data at the origin."""
+        proc = self.proc
+        if requester == proc.origin:
+            return None  # local grant: no wire transfer
+        current = entry.data_version
+        if known_version == current:
+            # requester is up to date; even with the skip optimization
+            # disabled, a transfer is only possible if the origin copy is
+            # current (it may not be when the requester is the sole holder)
+            if proc.cluster.params.enable_transfer_skip or not self._origin_current(
+                entry.vpn, current
+            ):
+                proc.stats.transfers_skipped += 1
+                return None
+        data = self._origin_page_bytes(entry.vpn, current)
+        proc.stats.pages_transferred += 1
+        return data
+
+    def _origin_current(self, vpn: int, version: int) -> bool:
+        pte = self.proc.node_state(self.proc.origin).page_table.lookup(vpn)
+        return pte is not None and pte.data_version == version
+
+    def _origin_page_bytes(self, vpn: int, version: int) -> bytes:
+        """The current page contents, which the revocation step always
+        leaves at the origin."""
+        proc = self.proc
+        origin_pte = proc.node_state(proc.origin).page_table.lookup(vpn)
+        if origin_pte is None or origin_pte.data_version != version:
+            raise ProtocolError(
+                f"origin copy of page {vpn:#x} is stale "
+                f"(have {origin_pte and origin_pte.data_version}, need {version})"
+            )
+        return bytes(proc.node_state(proc.origin).frames.frame(vpn))
+
+    def _revoke(
+        self, entry: PageEntry, losers: List[int], downgrade: bool
+    ) -> Generator:
+        """Revoke (or downgrade) ownership from *losers*, collecting acks.
+        An exclusive loser flushes its dirty page, which is installed in
+        the origin's frame; the origin then always holds current data."""
+        proc = self.proc
+        engine = proc.cluster.engine
+        params = proc.cluster.params
+        origin = proc.origin
+        vpn = entry.vpn
+        remote_losers = [n for n in losers if n != origin]
+        if origin in losers:
+            yield engine.timeout(params.invalidation_handler_cost)
+            origin_pte = proc.node_state(origin).page_table.ensure(vpn)
+            # the origin never discards its frame: it is the flush target
+            origin_pte.state = PageState.SHARED if downgrade else PageState.INVALID
+        if remote_losers:
+            proc.stats.invalidations_sent += len(remote_losers)
+            pending = []
+            for node in remote_losers:
+                msg = Message(
+                    MsgType.PAGE_INVALIDATE,
+                    src=origin,
+                    dst=node,
+                    payload={"pid": proc.pid, "vpn": vpn, "downgrade": downgrade},
+                )
+                pending.append(
+                    engine.process(
+                        proc.cluster.net.request(msg), name=f"inval:{vpn:#x}->{node}"
+                    )
+                )
+            acks = yield engine.all_of(pending)
+            flushes = [ack for ack in acks if ack.page_data is not None]
+            if len(flushes) > 1:
+                raise ProtocolError(
+                    f"page {vpn:#x}: {len(flushes)} dirty flushes; "
+                    "single-writer invariant broken"
+                )
+            for ack in flushes:
+                proc.stats.pages_transferred += 1  # dirty flush on the wire
+                proc.node_state(origin).frames.install(vpn, ack.page_data)
+                origin_pte = proc.node_state(origin).page_table.ensure(vpn)
+                origin_pte.data_version = entry.data_version
+                if downgrade:
+                    # the origin now also holds a valid reader copy
+                    origin_pte.state = PageState.SHARED
+                    entry.owners.add(origin)
+        if downgrade:
+            # downgraded losers stay owners (readers); nothing to remove
+            return
+        for node in losers:
+            entry.owners.discard(node)
+
+    def revoke_range(self, vpn_start: int, vpn_end: int) -> Generator:
+        """Pull every page in ``[vpn_start, vpn_end)`` back to exclusive
+        origin ownership, flushing dirty remote copies.  Used by protection
+        downgrades (mprotect), where remote write ability must be revoked
+        through the protocol so directory and PTEs stay consistent."""
+        proc = self.proc
+        origin = proc.origin
+        entries = [
+            entry
+            for _vpn, entry in self.directory.entries()
+            if vpn_start <= entry.vpn < vpn_end
+        ]
+        for entry in entries:
+            entry.busy = True
+            try:
+                losers = sorted(entry.owners - {origin})
+                yield from self._revoke(entry, losers, downgrade=False)
+                entry.owners = {origin}
+                entry.writer = origin
+                # keep data_version: recreating from zero could collide
+                # with stale remote copies and wrongly skip transfers
+                proc.node_state(origin).page_table.set_state(
+                    entry.vpn, PageState.EXCLUSIVE, data_version=entry.data_version
+                )
+            finally:
+                entry.busy = False
+
+    # ------------------------------------------------------------------
+    # owner side: servicing revocations
+    # ------------------------------------------------------------------
+
+    def handle_invalidate_msg(self, msg: Message) -> Generator:
+        """Handler for :data:`MsgType.PAGE_INVALIDATE` at an owner node."""
+        proc = self.proc
+        engine = proc.cluster.engine
+        params = proc.cluster.params
+        node = msg.dst
+        vpn = msg.payload["vpn"]
+        downgrade = msg.payload["downgrade"]
+        state = proc.node_state(node)
+        yield engine.timeout(params.invalidation_handler_cost)
+        # wait out any in-flight fault that is mid-install for this page
+        # (its grant was FIFO-ordered ahead of this invalidation)
+        while True:
+            installing = [
+                f
+                for f in state.inflight.get(vpn, ())
+                if f.installing and not f.done.triggered
+            ]
+            if not installing:
+                break
+            yield installing[0].done
+        # apply synchronously: flush-decision, data grab and PTE change
+        # happen with no intervening yield
+        pte = state.page_table.lookup(vpn)
+        dirty: Optional[bytes] = None
+        if pte is not None and pte.state is PageState.EXCLUSIVE:
+            frame = state.frames.peek(vpn)
+            dirty = bytes(frame) if frame is not None else bytes(params.page_size)
+        if pte is not None:
+            pte.state = PageState.SHARED if downgrade else PageState.INVALID
+        if proc.tracer is not None:
+            proc.tracer.record(
+                time_us=engine.now,
+                node=node,
+                tid=-1,
+                fault_type="invalidate",
+                site="",
+                addr=vpn * params.page_size,
+            )
+        yield from proc.cluster.net.send(
+            msg.make_reply(
+                MsgType.PAGE_INVALIDATE_ACK, {"ok": True}, page_data=dirty
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # invariant checking (used by tests)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert the directory and all page tables agree.  Only valid at
+        quiescent points (no in-flight protocol operations)."""
+        self.directory.check_invariants()
+        proc = self.proc
+        for vpn, entry in self.directory.entries():
+            if entry.busy:
+                continue
+            for node, state in proc.iter_node_states():
+                pte = state.page_table.lookup(vpn)
+                pte_state = pte.state if pte is not None else PageState.INVALID
+                if node in entry.owners:
+                    assert pte_state is not PageState.INVALID, (
+                        f"page {vpn:#x}: node {node} is a directory owner "
+                        f"but its PTE is invalid"
+                    )
+                    if entry.writer == node:
+                        assert pte_state is PageState.EXCLUSIVE
+                    else:
+                        assert pte_state is PageState.SHARED
+                    assert pte.data_version == entry.data_version, (
+                        f"page {vpn:#x}: node {node} holds version "
+                        f"{pte.data_version}, directory says {entry.data_version}"
+                    )
+                else:
+                    assert pte_state is PageState.INVALID, (
+                        f"page {vpn:#x}: node {node} has PTE {pte_state} "
+                        f"but is not a directory owner"
+                    )

@@ -1,0 +1,95 @@
+"""Counters and logs collected by a running DeX process.
+
+Everything the evaluation section reports is derived from these:
+per-fault latencies (the bimodal distribution of §V-D), migration breakdowns
+(Table II / Figure 3), protocol message counts, and transfer-skip hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class MigrationRecord:
+    """One thread migration, with the per-side costs Table II reports and
+    the remote-side component breakdown Figure 3 plots."""
+
+    tid: int
+    src: int
+    dst: int
+    kind: str  # "forward" | "backward"
+    first_on_node: bool
+    start_us: float
+    end_us: float
+    origin_us: float = 0.0
+    remote_us: float = 0.0
+    components: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+@dataclass
+class FaultRecord:
+    """Latency sample for one completed page fault."""
+
+    vpn: int
+    node: int
+    write: bool
+    latency_us: float
+    retries: int
+    coalesced: bool  # resolved as a follower
+
+
+@dataclass
+class DexStats:
+    """Aggregated per-process statistics."""
+
+    faults_read: int = 0
+    faults_write: int = 0
+    faults_coalesced: int = 0
+    fault_retries: int = 0
+    pages_transferred: int = 0
+    transfers_skipped: int = 0
+    invalidations_sent: int = 0
+    vma_queries: int = 0
+    vma_shrink_broadcasts: int = 0
+    delegations: int = 0
+    futex_waits: int = 0
+    futex_wakes: int = 0
+    migrations: List[MigrationRecord] = field(default_factory=list)
+    fault_latencies: List[FaultRecord] = field(default_factory=list)
+    #: cap on retained latency samples; counters keep counting past it
+    max_latency_samples: int = 500_000
+
+    @property
+    def total_faults(self) -> int:
+        return self.faults_read + self.faults_write
+
+    def record_fault(self, record: FaultRecord) -> None:
+        if record.write:
+            self.faults_write += 1
+        else:
+            self.faults_read += 1
+        if record.coalesced:
+            self.faults_coalesced += 1
+        self.fault_retries += record.retries
+        if len(self.fault_latencies) < self.max_latency_samples:
+            self.fault_latencies.append(record)
+
+    def latency_summary(self) -> Dict[str, float]:
+        """Mean fault latency split by contended (retried) vs fast-path —
+        the two modes of the §V-D distribution."""
+        fast = [r.latency_us for r in self.fault_latencies if r.retries == 0 and not r.coalesced]
+        slow = [r.latency_us for r in self.fault_latencies if r.retries > 0]
+        out: Dict[str, float] = {}
+        if fast:
+            out["fast_path_mean_us"] = sum(fast) / len(fast)
+            out["fast_path_count"] = float(len(fast))
+        if slow:
+            out["contended_mean_us"] = sum(slow) / len(slow)
+            out["contended_count"] = float(len(slow))
+        return out

@@ -1,0 +1,328 @@
+"""Threads and the application-facing execution context.
+
+A :class:`DexThread` wraps an application generator function running on the
+simulation engine.  Application code receives a :class:`ThreadContext`
+(`ctx`) and expresses everything it does through it:
+
+* ``yield from ctx.migrate(node)`` — the paper's "simple function call"
+  that relocates the thread (``popcorn_migrate`` in the real system);
+* ``yield from ctx.compute(cpu_us=..., mem_bytes=..., working_set=...)`` —
+  local computation, charged against a CPU core and the node's fair-share
+  DRAM bandwidth (with an LLC miss model for the memory-bound behaviour
+  §V-B discusses);
+* ``yield from ctx.read/write/atomic_update(...)`` — accesses through the
+  distributed address space, which fault pages in via the consistency
+  protocol;
+* ``yield from ctx.futex_wait/futex_wake(...)`` — forwarded to the origin
+  by work delegation, exactly like the real futex path.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from repro.core.errors import DexError
+from repro.sim import Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.process import DexProcess
+
+
+class DexThread:
+    """One application thread of a distributed process."""
+
+    def __init__(self, proc: "DexProcess", tid: int, name: str = ""):
+        self.proc = proc
+        self.tid = tid
+        self.name = name or f"t{tid}"
+        self.current_node = proc.origin
+        self.migration_count = 0
+        self.sim_process: Optional[Process] = None  # set by DexProcess.spawn
+
+    @property
+    def alive(self) -> bool:
+        return self.sim_process is not None and self.sim_process.is_alive
+
+    @property
+    def result(self) -> Any:
+        if self.sim_process is None or not self.sim_process.triggered:
+            raise DexError(f"thread {self.name} has not finished")
+        return self.sim_process.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DexThread {self.name} @node{self.current_node}>"
+
+
+class ThreadContext:
+    """The handle application code uses for every interaction with DeX."""
+
+    def __init__(self, thread: DexThread):
+        self.thread = thread
+        self.proc = thread.proc
+        self.cluster = thread.proc.cluster
+        self.engine = self.cluster.engine
+        self.params = self.cluster.params
+
+    @property
+    def tid(self) -> int:
+        return self.thread.tid
+
+    @property
+    def node(self) -> int:
+        """The node this thread currently runs on."""
+        return self.thread.current_node
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    # -- migration ---------------------------------------------------------
+
+    def migrate(self, dest: int) -> Generator:
+        """Relocate this thread to *dest* — the one-line conversion the
+        paper's Table I counts."""
+        yield from self.proc.migration.migrate(self.thread, dest)
+
+    def migrate_back(self) -> Generator:
+        """Return to the origin node."""
+        yield from self.proc.migration.migrate(self.thread, self.proc.origin)
+
+    def checkpoint(self) -> Generator:
+        """A safe migration point: if a scheduler policy (see
+        :mod:`repro.core.balancer`) posted a migration hint for this
+        thread, honour it now.  Returns the node migrated to, or None.
+        Applications sprinkle this at loop heads to opt in to automatic
+        migration — the §III-A extension of scheduler-initiated moves."""
+        target = self.proc.migration_hints.take(self.tid)
+        if target is not None and target != self.thread.current_node:
+            yield from self.proc.migration.migrate(self.thread, target)
+            return target
+        return None
+
+    # -- computation ---------------------------------------------------------
+
+    def compute(
+        self,
+        cpu_us: float = 0.0,
+        mem_bytes: float = 0.0,
+        working_set: Optional[float] = None,
+    ) -> Generator:
+        """Local computation at the current node.
+
+        Occupies one CPU core for the duration.  ``mem_bytes`` of memory
+        traffic is filtered by an LLC miss model (``working_set`` is the
+        hot footprint it is drawn from) and served by the node's fair-share
+        DRAM bandwidth; the effective duration is the max of the CPU time
+        and the memory time, modelling a core stalled on memory.
+        """
+        node = self.cluster.node(self.thread.current_node)
+        engine = self.engine
+        yield node.cores.acquire()
+        try:
+            traffic = 0.0
+            if mem_bytes > 0:
+                traffic = mem_bytes * self._miss_rate(working_set)
+            if traffic > 0 and cpu_us > 0:
+                yield engine.all_of(
+                    [node.dram.consume(traffic), engine.timeout(cpu_us)]
+                )
+            elif traffic > 0:
+                yield node.dram.consume(traffic)
+            elif cpu_us > 0:
+                yield engine.timeout(cpu_us)
+        finally:
+            node.cores.release()
+
+    def _miss_rate(self, working_set: Optional[float]) -> float:
+        """Fraction of memory traffic that reaches DRAM: streaming from a
+        hot set that fits in the LLC mostly hits cache."""
+        if working_set is None or working_set <= 0:
+            return 1.0  # streaming / no reuse
+        llc = float(self.params.llc_bytes)
+        if working_set <= llc:
+            return 0.05
+        return 0.05 + 0.95 * (1.0 - llc / working_set)
+
+    def sleep(self, us: float) -> Generator:
+        yield self.engine.timeout(us)
+
+    # -- distributed memory ----------------------------------------------------
+
+    def read(self, addr: int, nbytes: int, site: str = "") -> Generator:
+        """Read bytes through the distributed address space."""
+        data = yield from self.proc.faults.read(
+            self.thread.current_node, self.tid, addr, nbytes, site
+        )
+        return data
+
+    def write(self, addr: int, data: bytes, site: str = "") -> Generator:
+        """Write bytes through the distributed address space."""
+        yield from self.proc.faults.write(
+            self.thread.current_node, self.tid, addr, data, site
+        )
+
+    def fault_in(self, addr: int, nbytes: int, write: bool, site: str = "") -> Generator:
+        """Touch pages without transferring data to/from the caller —
+        useful for prefetch-style warm-up."""
+        yield from self.proc.faults.ensure_range(
+            self.thread.current_node, self.tid, addr, nbytes, write, site
+        )
+
+    def atomic_update(
+        self, addr: int, nbytes: int, fn: Callable[[bytes], bytes], site: str = ""
+    ) -> Generator:
+        """Atomic read-modify-write (single page); returns the old bytes."""
+        old = yield from self.proc.faults.atomic_update(
+            self.thread.current_node, self.tid, addr, nbytes, fn, site
+        )
+        return old
+
+    # convenience typed accessors ------------------------------------------------
+
+    def read_u32(self, addr: int, site: str = "") -> Generator:
+        raw = yield from self.read(addr, 4, site)
+        return struct.unpack("<I", raw)[0]
+
+    def write_u32(self, addr: int, value: int, site: str = "") -> Generator:
+        yield from self.write(addr, struct.pack("<I", value & 0xFFFFFFFF), site)
+
+    def read_i64(self, addr: int, site: str = "") -> Generator:
+        raw = yield from self.read(addr, 8, site)
+        return struct.unpack("<q", raw)[0]
+
+    def write_i64(self, addr: int, value: int, site: str = "") -> Generator:
+        yield from self.write(addr, struct.pack("<q", value), site)
+
+    def atomic_add_i64(self, addr: int, delta: int, site: str = "") -> Generator:
+        """Atomically add *delta* to a 64-bit integer; returns the old value."""
+        old = yield from self.atomic_update(
+            addr,
+            8,
+            lambda raw: struct.pack("<q", struct.unpack("<q", raw)[0] + delta),
+            site,
+        )
+        return struct.unpack("<q", old)[0]
+
+    def atomic_add_u32(self, addr: int, delta: int, site: str = "") -> Generator:
+        old = yield from self.atomic_update(
+            addr,
+            4,
+            lambda raw: struct.pack(
+                "<I", (struct.unpack("<I", raw)[0] + delta) & 0xFFFFFFFF
+            ),
+            site,
+        )
+        return struct.unpack("<I", old)[0]
+
+    def atomic_cas_u32(self, addr: int, expect: int, new: int, site: str = "") -> Generator:
+        """Compare-and-swap on a 32-bit word; returns the value observed
+        (CAS succeeded iff it equals *expect*)."""
+        observed = {}
+
+        def swap(raw: bytes) -> bytes:
+            value = struct.unpack("<I", raw)[0]
+            observed["value"] = value
+            if value == expect:
+                return struct.pack("<I", new & 0xFFFFFFFF)
+            return raw
+
+        yield from self.atomic_update(addr, 4, swap, site)
+        return observed["value"]
+
+    # -- synchronization (futex, via work delegation) -----------------------------
+
+    def futex_wait(self, addr: int, expected: int) -> Generator:
+        """FUTEX_WAIT: sleep while the word at *addr* equals *expected*.
+        Returns "woken" or "eagain"."""
+        result = yield from self.proc.delegation.call(
+            self.thread.current_node, self.tid, "futex_wait",
+            addr=addr, expected=expected,
+        )
+        return result
+
+    def futex_wake(self, addr: int, count: int = 1) -> Generator:
+        """FUTEX_WAKE: wake up to *count* waiters; returns how many."""
+        result = yield from self.proc.delegation.call(
+            self.thread.current_node, self.tid, "futex_wake",
+            addr=addr, count=count,
+        )
+        return result
+
+    # -- memory management (delegated to the origin, §III-D) ---------------------
+
+    def mmap(self, length: int, prot: int = 3, tag: str = "") -> Generator:
+        """Map fresh memory; returns the start address."""
+        start = yield from self.proc.delegation.call(
+            self.thread.current_node, self.tid, "mmap",
+            length=length, prot=prot, tag=tag,
+        )
+        return start
+
+    def munmap(self, start: int, length: int) -> Generator:
+        yield from self.proc.delegation.call(
+            self.thread.current_node, self.tid, "munmap",
+            start=start, length=length,
+        )
+
+    def mprotect(self, start: int, length: int, prot: int) -> Generator:
+        yield from self.proc.delegation.call(
+            self.thread.current_node, self.tid, "mprotect",
+            start=start, length=length, prot=prot,
+        )
+
+    # -- file I/O (delegated to the origin, §III-A) --------------------------
+
+    def fopen(self, path: str, mode: str = "r") -> Generator:
+        """Open a file on the shared filesystem; returns an fd, or -1 for
+        a missing file opened read-only.  Executes at the origin via work
+        delegation, like every stateful OS feature."""
+        fd = yield from self.proc.delegation.call(
+            self.thread.current_node, self.tid, "file_open",
+            path=path, mode=mode,
+        )
+        return fd
+
+    def fread(self, fd: int, length: int) -> Generator:
+        """Read up to *length* bytes from the descriptor."""
+        text = yield from self.proc.delegation.call(
+            self.thread.current_node, self.tid, "file_read",
+            fd=fd, length=length,
+        )
+        return text.encode("latin-1")
+
+    def fwrite(self, fd: int, data: bytes) -> Generator:
+        """Write *data* at the descriptor's offset; returns bytes written."""
+        count = yield from self.proc.delegation.call(
+            self.thread.current_node, self.tid, "file_write",
+            fd=fd, data=data.decode("latin-1"),
+        )
+        return count
+
+    def fseek(self, fd: int, offset: int) -> Generator:
+        result = yield from self.proc.delegation.call(
+            self.thread.current_node, self.tid, "file_seek",
+            fd=fd, offset=offset,
+        )
+        return result
+
+    def fclose(self, fd: int) -> Generator:
+        yield from self.proc.delegation.call(
+            self.thread.current_node, self.tid, "file_close", fd=fd,
+        )
+
+    # -- thread management -----------------------------------------------------
+
+    def spawn(self, fn: Callable, *args: Any, name: str = "") -> DexThread:
+        """Create a new thread running *fn(ctx, *args)* at this thread's
+        current node (pthread_create semantics)."""
+        return self.proc.spawn_thread(
+            fn, *args, name=name, at_node=self.thread.current_node
+        )
+
+    def join(self, thread: DexThread) -> Generator:
+        """Wait for *thread* to finish; returns its result."""
+        if thread.sim_process is None:
+            raise DexError(f"thread {thread.name} was never started")
+        result = yield thread.sim_process
+        return result

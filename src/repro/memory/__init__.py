@@ -1,0 +1,30 @@
+"""Per-node virtual-memory subsystem.
+
+This substrate mirrors the two-level structure of the Linux VM subsystem the
+paper builds on (§III-D): *virtual memory areas* (VMAs) describe address
+ranges and their permissions, while *page-table entries* (PTEs) describe the
+per-page state that the consistency protocol manipulates.  Page frames hold
+real bytes, so data actually moves between nodes and protocol bugs corrupt
+results rather than just timings.
+
+The per-process ownership directory at the origin is indexed by a radix
+tree, as in the paper ("a per-process radix tree which indexes the
+information by the virtual page address", §III-B).
+"""
+
+from repro.memory.frames import FrameStore
+from repro.memory.page_table import PageTable, PTE, PageState
+from repro.memory.radix_tree import RadixTree
+from repro.memory.vma import VMA, AddressSpaceMap, Protection, VMAError
+
+__all__ = [
+    "AddressSpaceMap",
+    "FrameStore",
+    "PTE",
+    "PageState",
+    "PageTable",
+    "Protection",
+    "RadixTree",
+    "VMA",
+    "VMAError",
+]

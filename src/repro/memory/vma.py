@@ -1,0 +1,189 @@
+"""Virtual memory areas and the per-address-space VMA map.
+
+A :class:`VMA` describes a half-open address range ``[start, end)`` with a
+protection and a human-readable tag (the paper's profiler tags faults with
+"a user-specified identifier for tagging individual pieces of the
+application", §IV-A).  The :class:`AddressSpaceMap` keeps VMAs sorted and
+non-overlapping and implements the mmap/munmap/mprotect manipulations the
+on-demand VMA synchronization of §III-D replays between nodes.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+class VMAError(Exception):
+    """Illegal VMA-map manipulation (overlap, unmapped range, ...)."""
+
+
+class Protection(enum.IntFlag):
+    NONE = 0
+    READ = 1
+    WRITE = 2
+    READ_WRITE = READ | WRITE
+
+
+@dataclass
+class VMA:
+    """One mapped range.  ``end`` is exclusive; both ends are page-aligned
+    by the map (callers pass byte addresses)."""
+
+    start: int
+    end: int
+    prot: Protection
+    tag: str = ""
+    #: monotonically bumped on every mutating operation at the origin; the
+    #: on-demand sync uses it to detect stale remote copies
+    version: int = 0
+
+    def __post_init__(self) -> None:
+        if self.start >= self.end:
+            raise VMAError(f"empty VMA [{self.start:#x}, {self.end:#x})")
+
+    def __contains__(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+    def overlaps(self, start: int, end: int) -> bool:
+        return self.start < end and start < self.end
+
+    def copy(self) -> "VMA":
+        return VMA(self.start, self.end, self.prot, self.tag, self.version)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"VMA([{self.start:#x}, {self.end:#x}) {self.prot.name}"
+            f"{' ' + self.tag if self.tag else ''})"
+        )
+
+
+class AddressSpaceMap:
+    """Sorted, non-overlapping set of VMAs with kernel-style manipulations.
+
+    The map is used twice: the authoritative copy lives at the origin, and
+    each remote node holds a lazily-populated replica updated by the
+    on-demand VMA synchronization protocol.
+    """
+
+    def __init__(self, page_size: int = 4096):
+        self.page_size = page_size
+        self._vmas: List[VMA] = []  # sorted by start
+        self._starts: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._vmas)
+
+    def __iter__(self) -> Iterator[VMA]:
+        return iter(self._vmas)
+
+    def _align_down(self, addr: int) -> int:
+        return addr - (addr % self.page_size)
+
+    def _align_up(self, addr: int) -> int:
+        return self._align_down(addr + self.page_size - 1)
+
+    def find(self, addr: int) -> Optional[VMA]:
+        """The VMA containing byte address *addr*, or None."""
+        idx = bisect.bisect_right(self._starts, addr) - 1
+        if idx >= 0 and addr in self._vmas[idx]:
+            return self._vmas[idx]
+        return None
+
+    def find_overlapping(self, start: int, end: int) -> List[VMA]:
+        idx = max(bisect.bisect_right(self._starts, start) - 1, 0)
+        found = []
+        for vma in self._vmas[idx:]:
+            if vma.start >= end:
+                break
+            if vma.overlaps(start, end):
+                found.append(vma)
+        return found
+
+    def _insert(self, vma: VMA) -> None:
+        idx = bisect.bisect_left(self._starts, vma.start)
+        self._vmas.insert(idx, vma)
+        self._starts.insert(idx, vma.start)
+
+    def _remove(self, vma: VMA) -> None:
+        idx = bisect.bisect_left(self._starts, vma.start)
+        assert self._vmas[idx] is vma
+        del self._vmas[idx]
+        del self._starts[idx]
+
+    # -- manipulations -----------------------------------------------------
+
+    def mmap(self, start: int, length: int, prot: Protection, tag: str = "") -> VMA:
+        """Map ``[start, start+length)`` (page-aligned outward)."""
+        if length <= 0:
+            raise VMAError(f"mmap of non-positive length {length}")
+        start = self._align_down(start)
+        end = self._align_up(start + length)
+        if self.find_overlapping(start, end):
+            raise VMAError(f"mmap overlaps existing VMA: [{start:#x}, {end:#x})")
+        vma = VMA(start, end, prot, tag)
+        self._insert(vma)
+        return vma
+
+    def munmap(self, start: int, length: int) -> List[VMA]:
+        """Unmap a range, splitting VMAs that straddle its edges.  Returns
+        the (possibly partial) VMAs that were removed."""
+        start = self._align_down(start)
+        end = self._align_up(start + length)
+        removed: List[VMA] = []
+        for vma in self.find_overlapping(start, end):
+            self._remove(vma)
+            if vma.start < start:
+                self._insert(VMA(vma.start, start, vma.prot, vma.tag, vma.version + 1))
+            if vma.end > end:
+                self._insert(VMA(end, vma.end, vma.prot, vma.tag, vma.version + 1))
+            removed.append(
+                VMA(max(vma.start, start), min(vma.end, end), vma.prot, vma.tag)
+            )
+        return removed
+
+    def mprotect(self, start: int, length: int, prot: Protection) -> List[VMA]:
+        """Change protection on a range, splitting at the edges.  The whole
+        range must be mapped.  Returns the VMAs now covering the range."""
+        start = self._align_down(start)
+        end = self._align_up(start + length)
+        covering = self.find_overlapping(start, end)
+        covered = sum(min(v.end, end) - max(v.start, start) for v in covering)
+        if covered != end - start:
+            raise VMAError(
+                f"mprotect of partially unmapped range [{start:#x}, {end:#x})"
+            )
+        result: List[VMA] = []
+        for vma in covering:
+            self._remove(vma)
+            if vma.start < start:
+                self._insert(VMA(vma.start, start, vma.prot, vma.tag, vma.version + 1))
+            if vma.end > end:
+                self._insert(VMA(end, vma.end, vma.prot, vma.tag, vma.version + 1))
+            changed = VMA(
+                max(vma.start, start), min(vma.end, end), prot, vma.tag, vma.version + 1
+            )
+            self._insert(changed)
+            result.append(changed)
+        return result
+
+    def replace(self, vma: VMA) -> None:
+        """Install an authoritative copy of *vma*, displacing anything it
+        overlaps (used by remotes applying on-demand sync replies)."""
+        for old in self.find_overlapping(vma.start, vma.end):
+            self._remove(old)
+            if old.start < vma.start:
+                self._insert(VMA(old.start, vma.start, old.prot, old.tag, old.version))
+            if old.end > vma.end:
+                self._insert(VMA(vma.end, old.end, old.prot, old.tag, old.version))
+        self._insert(vma.copy())
+
+    def remove_range(self, start: int, end: int) -> None:
+        """Drop any VMA pieces in ``[start, end)`` without returning them
+        (remote side of an eager shrink broadcast)."""
+        self.munmap(start, end - start)
+
+    def total_mapped(self) -> int:
+        return sum(v.end - v.start for v in self._vmas)

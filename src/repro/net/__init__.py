@@ -1,0 +1,29 @@
+"""InfiniBand-like interconnect substrate (§III-E).
+
+The messaging layer mirrors the paper's design: per-node-pair Reliable
+Connection channels; small control messages travel the VERB send/receive
+path using pre-registered **send/receive buffer pools** (ring buffers of
+DMA-mapped chunks, so the costly DMA mapping happens once at setup); 4 KB
+page data travels over **RDMA** into a pre-registered per-connection **RDMA
+sink** and is memcpy'd to its final frame — the hybrid that beats per-page
+region registration.
+
+Latency and bandwidth are charged against the simulation clock through
+fair-share NIC resources, so concurrent protocol traffic contends the way
+it would on a real HCA.
+"""
+
+from repro.net.buffers import BufferPool, RdmaSink
+from repro.net.fabric import Connection, Network, NodeNIC, Router
+from repro.net.messages import Message, MsgType
+
+__all__ = [
+    "BufferPool",
+    "Connection",
+    "Message",
+    "MsgType",
+    "Network",
+    "NodeNIC",
+    "RdmaSink",
+    "Router",
+]

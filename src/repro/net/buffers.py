@@ -1,0 +1,60 @@
+"""DMA-mapped buffer pools and RDMA sinks (§III-E).
+
+DMA mapping and RDMA region registration are costly, so DeX pre-maps pools
+of physically contiguous chunks at connection setup and recycles them:
+
+* the **send buffer pool** — a ring of chunks a sender composes outbound
+  verb messages in; reclaimed on send completion;
+* the **receive buffer pool** — posted receive work requests; recycled by
+  re-posting after the incoming message is consumed;
+* the **RDMA sink** — page-sized slots registered as one RDMA region; a
+  peer RDMA-writes page data into a slot, the receiver memcpy's it to its
+  final frame and releases the slot.
+
+All three are modelled as counted resources: when a pool is exhausted the
+caller stalls until a chunk is recycled (back-pressure), and the pool
+records the stall so benchmarks can report pool pressure.
+"""
+
+from __future__ import annotations
+
+from repro.sim import Engine, Resource
+
+
+class BufferPool:
+    """A ring of pre-mapped chunks.  ``acquire`` stalls when empty."""
+
+    def __init__(self, engine: Engine, chunks: int, chunk_bytes: int, name: str = ""):
+        self.engine = engine
+        self.chunk_bytes = chunk_bytes
+        self.name = name
+        self._slots = Resource(engine, chunks, name=name)
+        self.acquisitions = 0
+        self.stalls = 0
+
+    @property
+    def chunks(self) -> int:
+        return self._slots.capacity
+
+    @property
+    def in_use(self) -> int:
+        return self._slots.in_use
+
+    def acquire(self):
+        """Generator: obtain one chunk, stalling under exhaustion."""
+        self.acquisitions += 1
+        grant = self._slots.acquire()
+        if not grant.triggered:
+            self.stalls += 1
+        yield grant
+
+    def release(self) -> None:
+        self._slots.release()
+
+
+class RdmaSink(BufferPool):
+    """The per-connection RDMA landing zone: page-sized slots inside a
+    single pre-registered RDMA memory region."""
+
+    def __init__(self, engine: Engine, chunks: int, slot_bytes: int, name: str = ""):
+        super().__init__(engine, chunks, slot_bytes, name=name)

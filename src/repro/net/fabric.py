@@ -1,0 +1,167 @@
+"""The rack fabric: NICs, RC connections, and the send path.
+
+:class:`Network` owns one :class:`NodeNIC` and one :class:`Router` per node
+and one directional :class:`Connection` per ordered node pair, established
+at "boot" exactly as the paper describes ("at system boot-up time, nodes
+read in a configuration to establish a communication channel for each node
+pair under the InfiniBand Reliable Connection mode", §III-E).
+
+A message send charges: send-pool chunk acquisition (stalling under
+exhaustion), verb posting cost, data-path preparation when page data is
+attached, fair-share link bandwidth for the full wire size, propagation
+latency, receive-pool chunk + completion handling at the receiver, and the
+data-path landing cost.  Delivery hands the message to the receiver's
+router.  Senders return as soon as the send is posted — completions are
+asynchronous, as on a real HCA.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Tuple
+
+from repro.net import rdma
+from repro.net.buffers import BufferPool, RdmaSink
+from repro.net.messages import Message, MsgType
+from repro.net.verbs import Router
+from repro.params import SimParams
+from repro.sim import Engine, FairShareResource
+
+
+class NodeNIC:
+    """Per-node host channel adaptor: fair-share transmit bandwidth."""
+
+    def __init__(self, engine: Engine, node_id: int, params: SimParams):
+        self.node_id = node_id
+        self.tx = FairShareResource(
+            engine, params.link_bandwidth, name=f"n{node_id}.tx"
+        )
+
+
+class Connection:
+    """A directional RC channel with its pools (send pool at the source,
+    receive pool and RDMA sink at the destination)."""
+
+    def __init__(self, engine: Engine, src: int, dst: int, params: SimParams):
+        self.engine = engine
+        self.src = src
+        self.dst = dst
+        self.params = params
+        tag = f"c{src}->{dst}"
+        self.send_pool = BufferPool(
+            engine, params.send_pool_chunks, params.pool_chunk_bytes, f"{tag}.send"
+        )
+        self.recv_pool = BufferPool(
+            engine, params.recv_pool_chunks, params.pool_chunk_bytes, f"{tag}.recv"
+        )
+        self.rdma_sink = RdmaSink(
+            engine, params.rdma_sink_chunks, params.rdma_sink_slot_bytes, f"{tag}.sink"
+        )
+        self.messages = 0
+        self.bytes_on_wire = 0
+        #: tail of the in-order delivery chain: RC connections deliver in
+        #: post order, so each message waits for its predecessor's dispatch
+        self._delivery_tail = None
+
+
+class Network:
+    """All fabric state plus the public send/request API."""
+
+    def __init__(self, engine: Engine, num_nodes: int, params: SimParams):
+        if num_nodes < 1:
+            raise ValueError(f"need at least one node, got {num_nodes}")
+        self.engine = engine
+        self.num_nodes = num_nodes
+        self.params = params
+        self.nics: List[NodeNIC] = [
+            NodeNIC(engine, n, params) for n in range(num_nodes)
+        ]
+        self.routers: List[Router] = [Router(engine, n) for n in range(num_nodes)]
+        self.connections: Dict[Tuple[int, int], Connection] = {}
+        for src in range(num_nodes):
+            for dst in range(num_nodes):
+                if src != dst:
+                    self.connections[(src, dst)] = Connection(
+                        engine, src, dst, params
+                    )
+        self.messages_sent = 0
+        self.page_payloads = 0
+
+    def connection(self, src: int, dst: int) -> Connection:
+        try:
+            return self.connections[(src, dst)]
+        except KeyError:
+            raise ValueError(f"no connection {src}->{dst} (self-send or bad id)")
+
+    def router(self, node_id: int) -> Router:
+        return self.routers[node_id]
+
+    # -- send paths ---------------------------------------------------------
+
+    def send(self, msg: Message) -> Generator:
+        """Generator: sender-side cost of posting *msg*; delivery continues
+        asynchronously.  Yields until the send is posted."""
+        conn = self.connection(msg.src, msg.dst)
+        params = self.params
+        self.messages_sent += 1
+        conn.messages += 1
+
+        yield from conn.send_pool.acquire()
+        yield self.engine.timeout(params.verb_send_overhead)
+        if msg.page_data is not None:
+            self.page_payloads += 1
+            yield from rdma.sender_data_cost(conn, msg.data_bytes)
+        wire_bytes = msg.control_bytes + msg.data_bytes
+        conn.bytes_on_wire += wire_bytes
+        # claim a position in the connection's in-order delivery chain at
+        # post time (RC semantics: receive order == post order)
+        predecessor = conn._delivery_tail
+        delivered = self.engine.event(name=f"delivered#{msg.msg_id}")
+        conn._delivery_tail = delivered
+        self.engine.process(
+            self._wire(conn, msg, wire_bytes, predecessor, delivered),
+            name=f"wire#{msg.msg_id}",
+        )
+
+    def post(self, msg: Message):
+        """Fire-and-forget send, run as its own process."""
+        return self.engine.process(self.send(msg), name=f"send#{msg.msg_id}")
+
+    def request(self, msg: Message) -> Generator:
+        """Generator: send *msg* and wait for the correlated reply message.
+        Returns the reply."""
+        reply_event = self.routers[msg.src].expect_reply(msg.msg_id)
+        yield from self.send(msg)
+        reply = yield reply_event
+        return reply
+
+    def _wire(
+        self, conn: Connection, msg: Message, wire_bytes: int, predecessor, delivered
+    ) -> Generator:
+        """Transmission + receiver side, as an asynchronous process."""
+        params = self.params
+        # serialize onto the link under fair sharing with concurrent sends
+        yield self.nics[conn.src].tx.consume(wire_bytes, tag=msg.msg_type)
+        conn.send_pool.release()  # send completion reclaims the chunk
+        yield self.engine.timeout(params.wire_latency)
+        # receiver: consume a posted receive, reap the completion
+        yield from conn.recv_pool.acquire()
+        yield self.engine.timeout(params.verb_recv_overhead)
+        if msg.page_data is not None:
+            yield from rdma.receiver_data_cost(conn, msg.data_bytes)
+        conn.recv_pool.release()  # re-post the receive work request
+        if predecessor is not None and not predecessor.triggered:
+            yield predecessor  # enforce RC in-order delivery
+        self.routers[conn.dst].dispatch(msg)
+        delivered.succeed()
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def pool_pressure(self) -> Dict[str, int]:
+        """Total buffer-pool stalls across all connections (back-pressure
+        events where a sender had to wait for a chunk)."""
+        stats = {"send": 0, "recv": 0, "sink": 0}
+        for conn in self.connections.values():
+            stats["send"] += conn.send_pool.stalls
+            stats["recv"] += conn.recv_pool.stalls
+            stats["sink"] += conn.rdma_sink.stalls
+        return stats

@@ -1,0 +1,122 @@
+"""Message taxonomy for the DeX protocol.
+
+Messages are bimodal in size (§III-E): control messages are tens of bytes
+and travel the verb path; page data is 4 KB and travels the RDMA path.  A
+:class:`Message` optionally carries ``page_data``; the transport routes the
+control part and the data part over the appropriate paths and delivers them
+together.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+_msg_ids = itertools.count(1)
+
+
+class MsgType(enum.Enum):
+    # thread migration (§III-A)
+    MIGRATE = "migrate"                    # origin -> remote: execution context
+    MIGRATE_BACK = "migrate_back"          # remote -> origin: updated context
+    MIGRATE_DONE = "migrate_done"
+
+    # work delegation (§III-A)
+    DELEGATE = "delegate"                  # remote thread -> its origin pair
+    DELEGATE_REPLY = "delegate_reply"
+
+    # memory consistency protocol (§III-B, §III-C)
+    PAGE_REQUEST = "page_request"          # remote -> origin: read or write
+    PAGE_GRANT = "page_grant"              # origin -> remote: ownership (+data)
+    PAGE_RETRY = "page_retry"              # origin -> remote: lost the race
+    PAGE_INVALIDATE = "page_invalidate"    # origin -> owner: revoke ownership
+    PAGE_INVALIDATE_ACK = "page_invalidate_ack"
+    PAGE_FETCH = "page_fetch"              # origin -> exclusive owner: send data
+    PAGE_FETCH_REPLY = "page_fetch_reply"
+
+    # on-demand VMA synchronization (§III-D)
+    VMA_QUERY = "vma_query"
+    VMA_REPLY = "vma_reply"
+    VMA_SHRINK = "vma_shrink"              # eager broadcast on munmap/downgrade
+
+    # process lifecycle
+    PROCESS_EXIT = "process_exit"
+
+    # microbenchmark / test traffic
+    PING = "ping"
+    PONG = "pong"
+
+
+#: approximate wire size of the control part of each message, in bytes —
+#: "control messages are small, ranging up to tens of bytes" (§III-E)
+CONTROL_SIZES: Dict[MsgType, int] = {
+    MsgType.MIGRATE: 192,          # pt_regs + identifiers
+    MsgType.MIGRATE_BACK: 192,
+    MsgType.MIGRATE_DONE: 24,
+    MsgType.DELEGATE: 64,
+    MsgType.DELEGATE_REPLY: 32,
+    MsgType.PAGE_REQUEST: 40,
+    MsgType.PAGE_GRANT: 48,
+    MsgType.PAGE_RETRY: 24,
+    MsgType.PAGE_INVALIDATE: 32,
+    MsgType.PAGE_INVALIDATE_ACK: 24,
+    MsgType.PAGE_FETCH: 32,
+    MsgType.PAGE_FETCH_REPLY: 32,
+    MsgType.VMA_QUERY: 32,
+    MsgType.VMA_REPLY: 64,
+    MsgType.VMA_SHRINK: 48,
+    MsgType.PROCESS_EXIT: 16,
+    MsgType.PING: 16,
+    MsgType.PONG: 16,
+}
+
+
+@dataclass
+class Message:
+    """One unit of inter-node communication.
+
+    ``payload`` is a plain dict of protocol fields.  ``page_data``, when
+    present, is a full page of real bytes and is shipped over the
+    large-transfer path.  ``reply_to`` correlates RPC responses with the
+    pending request at the sender.
+    """
+
+    msg_type: MsgType
+    src: int
+    dst: int
+    payload: Dict[str, Any] = field(default_factory=dict)
+    page_data: Optional[bytes] = None
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    reply_to: Optional[int] = None
+
+    @property
+    def control_bytes(self) -> int:
+        return CONTROL_SIZES.get(self.msg_type, 48)
+
+    @property
+    def data_bytes(self) -> int:
+        return len(self.page_data) if self.page_data is not None else 0
+
+    def make_reply(
+        self,
+        msg_type: MsgType,
+        payload: Optional[Dict[str, Any]] = None,
+        page_data: Optional[bytes] = None,
+    ) -> "Message":
+        return Message(
+            msg_type=msg_type,
+            src=self.dst,
+            dst=self.src,
+            payload=payload or {},
+            page_data=page_data,
+            reply_to=self.msg_id,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        data = f" +{self.data_bytes}B" if self.page_data is not None else ""
+        return (
+            f"<Msg {self.msg_type.value} {self.src}->{self.dst} "
+            f"#{self.msg_id}{data}>"
+        )

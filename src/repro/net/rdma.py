@@ -1,0 +1,65 @@
+"""Large-transfer data paths (§III-E).
+
+DeX ships page data with one of three disciplines; the default is the
+paper's hybrid, and the other two exist so the ablation benchmark can show
+why the hybrid wins:
+
+* ``rdma_sink`` — the paper's design: the receiver pre-registers a sink of
+  page slots; the sender RDMA-writes into a slot, and on completion the
+  receiver memcpy's the page to its final frame and recycles the slot.
+  Costs: one RDMA post, the wire, one completion, one local memcpy.
+* ``verb`` — push the page through the verb send path; the page buffer is
+  not from the pre-mapped pool, so every send pays a DMA mapping.
+* ``rdma_register`` — register the final frame as an RDMA region for every
+  page ("dynamic RDMA region association is so costly that it can offset
+  the benefit of RDMA").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.params import SimParams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.fabric import Connection
+
+
+def sender_data_cost(conn: "Connection", nbytes: int) -> Generator:
+    """Sender-side preparation for *nbytes* of page data (before the wire)."""
+    params: SimParams = conn.params
+    mode = params.page_transfer_mode
+    engine = conn.engine
+    if mode == "rdma_sink":
+        # reserve a slot in the receiver's sink (address was exchanged at
+        # request time) and post the RDMA write
+        yield from conn.rdma_sink.acquire()
+        yield engine.timeout(params.rdma_post_cost)
+    elif mode == "verb":
+        # page buffer is not from the pre-mapped pool: pay the DMA mapping
+        yield engine.timeout(params.dma_map_cost + params.verb_send_overhead)
+    elif mode == "rdma_register":
+        yield engine.timeout(params.rdma_register_cost + params.rdma_post_cost)
+    else:
+        raise ValueError(f"unknown page_transfer_mode: {mode!r}")
+
+
+def receiver_data_cost(conn: "Connection", nbytes: int) -> Generator:
+    """Receiver-side handling of *nbytes* of page data (after the wire)."""
+    params: SimParams = conn.params
+    mode = params.page_transfer_mode
+    engine = conn.engine
+    if mode == "rdma_sink":
+        yield engine.timeout(params.rdma_completion_cost)
+        # copy from the sink slot to the final frame, then recycle the slot
+        yield engine.timeout(nbytes / params.memcpy_bandwidth)
+        conn.rdma_sink.release()
+    elif mode == "verb":
+        # data landed in a freshly mapped buffer; copy out
+        yield engine.timeout(nbytes / params.memcpy_bandwidth)
+    elif mode == "rdma_register":
+        # data landed directly in the final frame: no copy, but the region
+        # must be torn down
+        yield engine.timeout(params.rdma_completion_cost)
+    else:
+        raise ValueError(f"unknown page_transfer_mode: {mode!r}")

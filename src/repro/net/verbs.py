@@ -1,0 +1,91 @@
+"""Message dispatch: the receive side of the verb path.
+
+Each node runs a :class:`Router`.  Incoming messages either complete a
+pending RPC (when ``reply_to`` matches a registered request) or are handed
+to the handler registered for their type; handlers are generator functions
+and run as independent simulation processes, so a node can service many
+protocol requests concurrently — just like the kernel message handlers in
+the paper's messaging layer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator
+
+from repro.net.messages import Message, MsgType
+from repro.sim import Engine, Event
+
+Handler = Callable[[Message], Generator]
+
+
+class RouterError(Exception):
+    """A message arrived with no registered handler."""
+
+
+class Router:
+    """Per-node demultiplexer for incoming messages."""
+
+    def __init__(self, engine: Engine, node_id: int):
+        self.engine = engine
+        self.node_id = node_id
+        self._handlers: Dict[MsgType, Handler] = {}
+        self._pending: Dict[int, Event] = {}
+        self.dispatched = 0
+        self.replies_matched = 0
+
+    def register(self, msg_type: MsgType, handler: Handler) -> None:
+        if msg_type in self._handlers:
+            raise RouterError(
+                f"node {self.node_id}: handler for {msg_type} already registered"
+            )
+        self._handlers[msg_type] = handler
+
+    def expect_reply(self, msg_id: int) -> Event:
+        event = self.engine.event(name=f"reply#{msg_id}")
+        self._pending[msg_id] = event
+        return event
+
+    def cancel_reply(self, msg_id: int) -> None:
+        self._pending.pop(msg_id, None)
+
+    def dispatch(self, msg: Message) -> None:
+        if msg.reply_to is not None:
+            waiter = self._pending.pop(msg.reply_to, None)
+            if waiter is not None:
+                self.replies_matched += 1
+                waiter.succeed(msg)
+                return
+            # a reply whose requester gave up; fall through to a typed
+            # handler if one exists, otherwise drop it silently
+        handler = self._handlers.get(msg.msg_type)
+        if handler is None:
+            if msg.reply_to is not None:
+                return  # orphaned reply
+            # raise from a bare scheduled callback so the error escapes
+            # engine.run() instead of silently failing the wire process
+            error = RouterError(
+                f"node {self.node_id}: no handler for {msg.msg_type} ({msg!r})"
+            )
+
+            def _raise() -> None:
+                raise error
+
+            self.engine._schedule_now(_raise)
+            return
+        self.dispatched += 1
+        proc = self.engine.process(
+            handler(msg), name=f"n{self.node_id}.{msg.msg_type.value}"
+        )
+        proc.add_callback(self._check_handler)
+
+    def _check_handler(self, proc) -> None:
+        """Handler processes have no waiters; surface their failures
+        instead of letting a protocol bug turn into a silent deadlock."""
+        if proc.ok:
+            return
+        error = proc._exc
+
+        def _raise() -> None:
+            raise error
+
+        self.engine._schedule_now(_raise)

@@ -1,0 +1,157 @@
+"""Every latency and bandwidth constant of the simulated rack, in one place.
+
+The defaults model the paper's testbed (§V): eight nodes with 8-core Xeon
+Silver 4110 processors, 48 GB RAM each, connected by 56 Gbps InfiniBand
+(ConnectX-4 + SX6012 switch).  Times are **microseconds**, bandwidths are
+**bytes per microsecond** (1 byte/us = 1 MB/s).
+
+Constants marked *calibrated* were tuned so that the microbenchmarks of
+§V-D land near the paper's measurements:
+
+* retrieving a 4 KB page through the messaging layer: **13.6 us**
+* fast-path page-fault handling: **19.3 us**
+* contended fault handling with retry: **~158.8 us**
+* first forward migration: **812.1 us** (12.1 origin + 800.0 remote, of
+  which ~620 us is remote-worker setup); second forward: **236.6 us**;
+  backward: **~24.7 us**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+@dataclass
+class SimParams:
+    """Tunable model of the rack; pass to :class:`repro.core.DexCluster`."""
+
+    # ---- node hardware --------------------------------------------------
+    cores_per_node: int = 8
+    #: sustained per-node DRAM bandwidth (bytes/us); ~12 GB/s per socket
+    dram_bandwidth: float = 12_000.0
+    #: last-level cache per node (Xeon Silver 4110: 11 MB)
+    llc_bytes: int = 11 * MB
+    #: DRAM throughput degradation: aggregate capacity multiplier once more
+    #: than `dram_knee` streams are active (row-buffer conflicts under many
+    #: random-access streams).  1.0 disables the effect.
+    dram_contention_factor: float = 0.85
+    dram_knee: int = 4
+
+    # ---- interconnect (InfiniBand RC, §III-E) ---------------------------
+    #: 56 Gbps link = 7 GB/s = 7000 bytes/us
+    link_bandwidth: float = 7_000.0
+    #: one-way propagation + switch latency for any message
+    wire_latency: float = 2.0
+    #: CPU cost to post a send work request to a pre-mapped buffer
+    verb_send_overhead: float = 0.8
+    #: CPU cost to reap a completion and dispatch the handler
+    verb_recv_overhead: float = 1.0
+    #: DMA-mapping a buffer that is NOT from a pre-registered pool (the
+    #: cost the send/receive buffer pools exist to avoid)
+    dma_map_cost: float = 4.0
+    #: posting an RDMA write (buffer already in a registered region)
+    rdma_post_cost: float = 1.5
+    #: RDMA completion-path cost at the requester
+    rdma_completion_cost: float = 1.5
+    #: registering a fresh RDMA memory region (the cost the RDMA sink
+    #: avoids; used by the per-page-registration ablation)
+    rdma_register_cost: float = 25.0
+    #: local memcpy bandwidth (sink -> final frame), ~20 GB/s
+    memcpy_bandwidth: float = 20_000.0
+    #: chunks per connection in each buffer pool
+    send_pool_chunks: int = 64
+    recv_pool_chunks: int = 64
+    rdma_sink_chunks: int = 32
+    #: payload bytes per pool chunk (control messages are tens of bytes)
+    pool_chunk_bytes: int = 256
+    #: bytes per RDMA sink slot (one page)
+    rdma_sink_slot_bytes: int = 4096
+
+    # ---- virtual memory subsystem ---------------------------------------
+    page_size: int = 4096
+    #: hardware trap + kernel fault-path entry
+    fault_trap_cost: float = 2.0
+    #: taking the PTE spinlock + writing the PTE
+    pte_update_cost: float = 1.0
+    #: allocating a physical page at the remote
+    page_alloc_cost: float = 0.8
+    #: origin-side ownership lookup/update in the radix tree (calibrated)
+    protocol_handler_cost: float = 2.5
+    #: applying an ownership-revocation (invalidation) at an owner node
+    invalidation_handler_cost: float = 0.8
+    #: back-off before retrying a fault that lost an ownership race
+    #: (calibrated so contended faults average ~158.8us, ~8x the fast path)
+    fault_retry_backoff: float = 130.0
+    #: consulting the per-process hash table of in-flight faults
+    fault_coalesce_lookup_cost: float = 0.4
+
+    # ---- thread migration (§III-A, calibrated to Table II / Fig. 3) -----
+    #: collecting pt_regs + mm state at the source of a migration
+    context_collect_cost: float = 6.6
+    #: origin-side per-process bookkeeping, first migration only
+    origin_process_setup_cost: float = 5.5
+    #: origin-side cost for subsequent migrations
+    origin_resume_cost: float = 0.0
+    #: creating the per-process remote worker + address-space skeleton at a
+    #: node seeing this process for the first time (dominates 1st migration)
+    remote_worker_setup_cost: float = 620.0
+    #: waking the sleeping remote worker to service a later migration (the
+    #: first migration creates worker and thread together, so skips this)
+    worker_wake_cost: float = 50.0
+    #: forking a remote thread from the remote worker (CLONE_THREAD)
+    remote_thread_fork_cost: float = 130.0
+    #: installing the received execution context into the new thread
+    remote_context_restore_cost: float = 38.0
+    #: run-queue enqueue + first dispatch of the new thread
+    remote_sched_cost: float = 12.0
+    #: backward migration: updating the original thread's context
+    backward_update_cost: float = 14.5
+
+    # ---- work delegation & futex (§III-A) --------------------------------
+    #: waking the sleeping original thread and dispatching a request
+    delegation_dispatch_cost: float = 1.0
+    #: one futex_wait/futex_wake operation executed at the origin
+    futex_op_cost: float = 0.6
+    #: VMA lookup / update at either side of on-demand VMA sync
+    vma_op_cost: float = 0.7
+
+    # ---- feature switches (for ablations) ---------------------------------
+    #: leader-follower coalescing of concurrent same-page faults (§III-C)
+    enable_fault_coalescing: bool = True
+    #: skip page-data transfer when the requester holds an up-to-date copy
+    enable_transfer_skip: bool = True
+    #: page-data transfer mode: "rdma_sink" (the paper's hybrid), "verb"
+    #: (send 4KB through the verb path), or "rdma_register" (register a
+    #: region per page -- the strawman §III-E rules out)
+    page_transfer_mode: str = "rdma_sink"
+
+    #: optional override for DRAM contention; maps active streams -> bytes/us
+    dram_contention: Optional[Callable[[int], float]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def dram_contention_model(self) -> Callable[[int], float]:
+        """Effective aggregate DRAM capacity as a function of active streams."""
+        if self.dram_contention is not None:
+            return self.dram_contention
+        cap, knee, factor = self.dram_bandwidth, self.dram_knee, self.dram_contention_factor
+
+        def model(n: int) -> float:
+            if n <= knee or factor >= 1.0:
+                return cap
+            # geometric decay per extra stream beyond the knee, floored
+            return max(cap * (factor ** (n - knee)), cap * 0.4)
+
+        return model
+
+    def copy(self, **overrides) -> "SimParams":
+        """A modified copy; keyword names are field names."""
+        return replace(self, **overrides)
+
+
+DEFAULT_PARAMS = SimParams()

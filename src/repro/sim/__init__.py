@@ -1,0 +1,33 @@
+"""Discrete-event simulation kernel.
+
+This package is the bottom-most substrate of the reproduction: a small,
+deterministic discrete-event engine in the style of SimPy.  Simulated
+activities are Python generators that ``yield`` waitables (timeouts, events,
+other processes, resource requests); the engine advances a virtual clock in
+microseconds and resumes generators when their waitables complete.
+
+Everything above — the interconnect, the virtual-memory subsystem, the DeX
+protocol, and the applications — runs as processes on this engine.
+"""
+
+from repro.sim.engine import (
+    Engine,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import FairShareResource, Resource, Store
+
+__all__ = [
+    "Engine",
+    "Event",
+    "FairShareResource",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

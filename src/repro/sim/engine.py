@@ -1,0 +1,327 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine keeps a priority queue of ``(time, sequence, event)`` entries.
+Simulated activities are generator functions wrapped in :class:`Process`;
+whenever a process yields a waitable (:class:`Event`, :class:`Timeout`, or
+another :class:`Process`), it is suspended until the waitable triggers, at
+which point the waitable's value is sent back into the generator (or its
+exception is thrown into it).
+
+Time is a float in **microseconds**.  All ordering ties are broken by a
+monotonically increasing sequence number, which makes runs bit-for-bit
+reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+_UNSET = object()
+
+
+class SimulationError(Exception):
+    """Raised for illegal engine usage (double trigger, bad yield, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The interrupted process receives the exception at its current yield
+    point and may catch it to implement retries or cancellation.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts untriggered.  It is completed exactly once, either with
+    :meth:`succeed` (delivering a value) or :meth:`fail` (delivering an
+    exception).  Callbacks registered before completion run, in registration
+    order, at the simulation time of the completion.
+    """
+
+    __slots__ = ("engine", "_value", "_exc", "_done", "_callbacks", "name")
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self.engine = engine
+        self.name = name
+        self._value: Any = _UNSET
+        self._exc: Optional[BaseException] = None
+        self._done = False
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._done
+
+    @property
+    def ok(self) -> bool:
+        return self._done and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise SimulationError(f"event {self!r} has not triggered yet")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._done:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._done = True
+        self._value = value
+        self.engine._schedule_callbacks(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self._done:
+            raise SimulationError(f"event {self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._done = True
+        self._exc = exc
+        self.engine._schedule_callbacks(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run *fn(event)* when the event completes (immediately-scheduled
+        if it already has)."""
+        if self._done:
+            self.engine._schedule_now(lambda: fn(self))
+        else:
+            assert self._callbacks is not None
+            self._callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._done else "pending"
+        label = self.name or self.__class__.__name__
+        return f"<{label} {state} @{id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(engine, name=f"Timeout({delay})")
+        self.delay = delay
+        engine._schedule_at(engine.now + delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        self.succeed(value)
+
+
+class Process(Event):
+    """A running generator.  As an :class:`Event`, it triggers when the
+    generator returns (value = the ``return`` value) or raises."""
+
+    __slots__ = ("generator", "_waiting_on", "_interrupts")
+
+    def __init__(self, engine: "Engine", generator: Generator, name: str = ""):
+        super().__init__(engine, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._interrupts: List[Interrupt] = []
+        engine._schedule_now(lambda: self._resume(None))
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._done
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point."""
+        if self._done:
+            return
+        self._interrupts.append(Interrupt(cause))
+        waiting = self._waiting_on
+        self._waiting_on = None
+        if waiting is not None:
+            # Detach from the event we were waiting on; the stale callback
+            # checks _waiting_on and becomes a no-op.
+            pass
+        self.engine._schedule_now(lambda: self._step(_UNSET, None))
+
+    def _resume(self, event: Optional[Event]) -> None:
+        if self._done:
+            return
+        if event is not None and self._waiting_on is not event:
+            return  # stale wake-up (we were interrupted away from it)
+        self._waiting_on = None
+        if event is None:
+            self._step(None, None)
+        elif event._exc is not None:
+            self._step(_UNSET, event._exc)
+        else:
+            self._step(event._value, None)
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self._done:
+            return
+        try:
+            if self._interrupts:
+                target = self.generator.throw(self._interrupts.pop(0))
+            elif exc is not None:
+                target = self.generator.throw(exc)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:  # noqa: BLE001 - propagate to waiters
+            if isinstance(err, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(err)
+            return
+        if not isinstance(target, Event):
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}; only Event "
+                    "instances (Timeout, Process, Event) may be yielded"
+                )
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class AllOf(Event):
+    """Triggers when every child event has triggered; value is their list
+    of values.  Fails fast on the first child failure."""
+
+    __slots__ = ("_children", "_pending")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine, name="AllOf")
+        self._children = list(events)
+        self._pending = len(self._children)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self._done:
+            return
+        if child._exc is not None:
+            self.fail(child._exc)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([c._value for c in self._children])
+
+
+class Engine:
+    """The event loop.
+
+    Typical usage::
+
+        eng = Engine()
+
+        def hello():
+            yield eng.timeout(5.0)
+            return "done"
+
+        proc = eng.process(hello())
+        eng.run()
+        assert eng.now == 5.0 and proc.value == "done"
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List = []
+        self._seq = 0
+        self._running = False
+
+    # -- scheduling primitives ------------------------------------------
+
+    def _schedule_at(self, when: float, fn: Callable, *args: Any) -> None:
+        if when < self.now:
+            raise SimulationError(f"cannot schedule in the past ({when} < {self.now})")
+        self._seq += 1
+        heapq.heappush(self._queue, (when, self._seq, fn, args))
+
+    def _schedule_now(self, fn: Callable, *args: Any) -> None:
+        self._schedule_at(self.now, fn, *args)
+
+    def _schedule_callbacks(self, event: Event) -> None:
+        callbacks, event._callbacks = event._callbacks, None
+        if callbacks:
+            self._schedule_now(self._run_callbacks, event, callbacks)
+
+    @staticmethod
+    def _run_callbacks(event: Event, callbacks: List[Callable]) -> None:
+        for fn in callbacks:
+            fn(event)
+
+    # -- public factories ------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def trigger_at(self, when: float, event: Event, value: Any = None) -> None:
+        """Succeed *event* at absolute simulated time *when*."""
+        self._schedule_at(when, event.succeed, value)
+
+    # -- main loop --------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Drain the event queue.
+
+        Stops when the queue empties, when simulated time would pass
+        *until*, or (as a runaway guard) after *max_events* dispatches.
+        Returns the final simulation time.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        dispatched = 0
+        try:
+            while self._queue:
+                when, _seq, fn, args = self._queue[0]
+                if until is not None and when > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._queue)
+                self.now = when
+                fn(*args)
+                dispatched += 1
+                if dispatched >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely a livelock"
+                    )
+            else:
+                if until is not None:
+                    self.now = max(self.now, until)
+        finally:
+            self._running = False
+        return self.now
+
+    def run_process(self, generator: Generator, name: str = "") -> Any:
+        """Convenience: spawn *generator*, run to completion, return its value."""
+        proc = self.process(generator, name=name)
+        self.run()
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} did not finish (deadlock: waiting on "
+                "an event nobody triggers)"
+            )
+        return proc.value

@@ -1,0 +1,230 @@
+"""Contention primitives for the simulation kernel.
+
+Three resources cover everything the rack model needs:
+
+* :class:`FairShareResource` — processor-sharing (GPS) service of divisible
+  work, used for NIC link bandwidth and per-node DRAM bandwidth.  ``k``
+  concurrent jobs each progress at ``capacity(k) / k``; job completions and
+  arrivals recompute the schedule exactly, so the model is not a timestep
+  approximation.
+* :class:`Resource` — a counted FIFO resource (semaphore), used for CPU
+  cores and bounded buffer pools.
+* :class:`Store` — an unbounded FIFO of items with blocking ``get``, used
+  for message queues and work-delegation mailboxes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+from repro.sim.engine import Engine, Event, SimulationError
+
+_EPS = 1e-9
+
+
+class _ShareJob:
+    __slots__ = ("remaining", "event", "tag")
+
+    def __init__(self, remaining: float, event: Event, tag: Any):
+        self.remaining = remaining
+        self.event = event
+        self.tag = tag
+
+
+class FairShareResource:
+    """Exact generalized-processor-sharing service of divisible jobs.
+
+    ``capacity`` is in work units per microsecond (e.g. bytes/us for a
+    memory channel).  An optional ``contention`` callable maps the number of
+    active jobs to an *effective* aggregate capacity, modelling throughput
+    degradation under many concurrent streams (memory-controller row-buffer
+    conflicts etc.); it defaults to the ideal constant capacity.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        capacity: float,
+        contention: Optional[Callable[[int], float]] = None,
+        name: str = "",
+    ):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._contention = contention
+        self._jobs: List[_ShareJob] = []
+        self._last_update = 0.0
+        self._timer_id = 0  # invalidates stale completion timers
+        self.total_served = 0.0
+
+    # -- public API -------------------------------------------------------
+
+    def consume(self, amount: float, tag: Any = None) -> Event:
+        """Return an event that triggers once *amount* units of service
+        have been delivered to this job under fair sharing."""
+        event = self.engine.event(name=f"{self.name}.consume({amount})")
+        if amount <= 0:
+            event.succeed()
+            return event
+        self._advance()
+        self._jobs.append(_ShareJob(float(amount), event, tag))
+        self._reschedule()
+        return event
+
+    @property
+    def active_jobs(self) -> int:
+        return len(self._jobs)
+
+    def effective_capacity(self, n_jobs: Optional[int] = None) -> float:
+        n = len(self._jobs) if n_jobs is None else n_jobs
+        if n == 0:
+            return self.capacity
+        if self._contention is None:
+            return self.capacity
+        cap = self._contention(n)
+        if cap <= 0:
+            raise SimulationError(f"contention model returned {cap} for n={n}")
+        return cap
+
+    # -- internals ----------------------------------------------------------
+
+    def _rate_per_job(self) -> float:
+        n = len(self._jobs)
+        if n == 0:
+            return 0.0
+        return self.effective_capacity(n) / n
+
+    def _advance(self) -> None:
+        """Charge service delivered since the last state change."""
+        now = self.engine.now
+        dt = now - self._last_update
+        self._last_update = now
+        if dt <= 0 or not self._jobs:
+            return
+        served = self._rate_per_job() * dt
+        self.total_served += served * len(self._jobs)
+        for job in self._jobs:
+            job.remaining -= served
+
+    def _reschedule(self) -> None:
+        """Schedule the next completion (invalidating any stale timer)."""
+        self._timer_id += 1
+        while True:
+            finished = [j for j in self._jobs if j.remaining <= _EPS]
+            if finished:
+                self._jobs = [j for j in self._jobs if j.remaining > _EPS]
+                for job in finished:
+                    job.event.succeed()
+            if not self._jobs:
+                return
+            rate = self._rate_per_job()
+            next_remaining = min(j.remaining for j in self._jobs)
+            when = self.engine.now + next_remaining / rate
+            if when <= self.engine.now:
+                # the remaining service is below float resolution at the
+                # current clock value: treat those jobs as served now,
+                # otherwise the timer would respawn at the same instant
+                for job in self._jobs:
+                    if job.remaining <= next_remaining + _EPS:
+                        job.remaining = 0.0
+                continue
+            self.engine._schedule_at(when, self._on_timer, self._timer_id)
+            return
+
+    def _on_timer(self, timer_id: int) -> None:
+        if timer_id != self._timer_id:
+            return  # superseded by an arrival or another completion
+        self._advance()
+        self._reschedule()
+
+
+class Resource:
+    """A counted FIFO resource: up to *capacity* concurrent holders.
+
+    ``acquire()`` returns an event that triggers when a slot is granted;
+    the holder must call ``release()`` exactly once.
+    """
+
+    def __init__(self, engine: Engine, capacity: int, name: str = ""):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        event = self.engine.event(name=f"{self.name}.acquire")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+    def held(self):
+        """Generator context: ``yield from resource.held()`` is not possible
+        in Python; instead use ``yield resource.acquire()`` / ``release()``.
+        Provided for documentation symmetry only."""
+        raise NotImplementedError(
+            "acquire()/release() explicitly; generators cannot use with-blocks "
+            "across yields"
+        )
+
+
+class Store:
+    """Unbounded FIFO of items with blocking ``get``.
+
+    ``put`` is immediate; ``get`` returns an event whose value is the next
+    item (triggering immediately if one is queued).  Items are matched to
+    getters strictly in FIFO order on both sides.
+    """
+
+    def __init__(self, engine: Engine, name: str = ""):
+        self.engine = engine
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        event = self.engine.event(name=f"{self.name}.get")
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Any:
+        """Non-blocking get; returns None when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None

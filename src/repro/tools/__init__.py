@@ -1,0 +1,13 @@
+"""The application-adaptation toolchain (§IV).
+
+:class:`~repro.tools.tracer.FaultTracer` collects the paper's six-tuple per
+protocol-visible page fault; :mod:`repro.tools.analysis` post-processes the
+trace into the analyses §IV-A lists — hottest pages/objects/source sites,
+fault frequency over time, per-thread access patterns — plus a false-sharing
+detector that flags pages written by multiple nodes (the §IV-B targets).
+"""
+
+from repro.tools.analysis import TraceAnalysis
+from repro.tools.tracer import FaultEvent, FaultTracer
+
+__all__ = ["FaultEvent", "FaultTracer", "TraceAnalysis"]

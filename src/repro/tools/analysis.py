@@ -1,0 +1,149 @@
+"""Post-processing of page-fault traces (§IV-A).
+
+"After the execution, the profiling tool post-processes the trace in
+conjunction with the binary to provide a rich set of analyses, such as
+identifying the program objects or source code locations that caused the
+most page faults, page fault frequency over time, per-thread memory access
+patterns, etc."
+
+The false-sharing detector flags the §IV-B patterns directly: pages with
+conflicting accesses (read/write or write/write) from more than one node.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.tools.tracer import FaultEvent, FaultTracer
+
+
+@dataclass
+class PageReport:
+    """Contention summary for one page."""
+
+    vpn: int
+    faults: int
+    writer_nodes: Tuple[int, ...]
+    reader_nodes: Tuple[int, ...]
+    tags: Tuple[str, ...]
+    sites: Tuple[str, ...]
+
+    @property
+    def falsely_shared(self) -> bool:
+        """Conflicting cross-node accesses: more than one writer node, or a
+        writer plus readers elsewhere — the page will bounce."""
+        if len(self.writer_nodes) > 1:
+            return True
+        if len(self.writer_nodes) == 1:
+            others = set(self.reader_nodes) - set(self.writer_nodes)
+            return bool(others)
+        return False
+
+
+class TraceAnalysis:
+    """All §IV-A analyses over one trace."""
+
+    def __init__(self, tracer: FaultTracer, page_size: int = 4096):
+        self.events = list(tracer)
+        self.page_size = page_size
+
+    # -- hot spots ---------------------------------------------------------
+
+    def hottest_pages(self, top: int = 10) -> List[PageReport]:
+        """Pages ordered by protocol fault count (invalidations excluded
+        from the count, included in writer attribution)."""
+        by_page: Dict[int, List[FaultEvent]] = defaultdict(list)
+        for event in self.events:
+            by_page[event.addr // self.page_size].append(event)
+        reports = []
+        for vpn, events in by_page.items():
+            faults = [e for e in events if e.fault_type != "invalidate"]
+            writers = sorted({e.node for e in faults if e.fault_type == "write"})
+            readers = sorted({e.node for e in faults if e.fault_type == "read"})
+            tags = tuple(sorted({e.tag for e in faults if e.tag}))
+            sites = tuple(sorted({e.site for e in faults if e.site}))
+            reports.append(
+                PageReport(
+                    vpn=vpn,
+                    faults=len(faults),
+                    writer_nodes=tuple(writers),
+                    reader_nodes=tuple(readers),
+                    tags=tags,
+                    sites=sites,
+                )
+            )
+        reports.sort(key=lambda r: r.faults, reverse=True)
+        return reports[:top]
+
+    def hottest_sites(self, top: int = 10) -> List[Tuple[str, int]]:
+        """Source locations ("faulting instructions") by fault count — the
+        paper's primary lead for finding optimization targets."""
+        counter = Counter(
+            e.site for e in self.events if e.fault_type != "invalidate" and e.site
+        )
+        return counter.most_common(top)
+
+    def hottest_objects(self, top: int = 10) -> List[Tuple[str, int]]:
+        """Program objects (VMA tags) by fault count."""
+        counter = Counter(
+            e.tag for e in self.events if e.fault_type != "invalidate" and e.tag
+        )
+        return counter.most_common(top)
+
+    # -- false sharing ----------------------------------------------------------
+
+    def false_sharing_candidates(self, top: int = 10) -> List[PageReport]:
+        """Pages that bounce between nodes — §IV-B's optimization targets."""
+        return [r for r in self.hottest_pages(top=len(self.events) or 1)
+                if r.falsely_shared][:top]
+
+    # -- time & thread structure ---------------------------------------------
+
+    def fault_rate_over_time(self, bucket_us: float = 1000.0) -> List[Tuple[float, int]]:
+        """(bucket start time, fault count) histogram — "page fault
+        frequency over time"."""
+        if bucket_us <= 0:
+            raise ValueError(f"bucket must be positive, got {bucket_us}")
+        buckets: Counter = Counter()
+        for e in self.events:
+            if e.fault_type != "invalidate":
+                buckets[int(e.time_us // bucket_us)] += 1
+        return [(b * bucket_us, n) for b, n in sorted(buckets.items())]
+
+    def per_thread_pattern(self) -> Dict[int, Dict[str, int]]:
+        """Per-task access summary: fault counts by type and the distinct
+        page footprint — "per-thread memory access patterns"."""
+        out: Dict[int, Dict[str, int]] = {}
+        pages: Dict[int, set] = defaultdict(set)
+        for e in self.events:
+            if e.tid < 0:
+                continue
+            entry = out.setdefault(e.tid, {"read": 0, "write": 0})
+            if e.fault_type in entry:
+                entry[e.fault_type] += 1
+            pages[e.tid].add(e.addr // self.page_size)
+        for tid, entry in out.items():
+            entry["distinct_pages"] = len(pages[tid])
+        return out
+
+    # -- reporting ----------------------------------------------------------
+
+    def report(self, top: int = 5) -> str:
+        """A human-readable summary, like the paper's tool output."""
+        lines = [f"fault trace: {len(self.events)} events"]
+        lines.append("hottest sites:")
+        for site, count in self.hottest_sites(top):
+            lines.append(f"  {count:8d}  {site}")
+        lines.append("hottest objects (VMA tags):")
+        for tag, count in self.hottest_objects(top):
+            lines.append(f"  {count:8d}  {tag}")
+        lines.append("false-sharing candidates:")
+        for page in self.false_sharing_candidates(top):
+            lines.append(
+                f"  page {page.vpn:#x}: {page.faults} faults, writers "
+                f"{list(page.writer_nodes)}, readers {list(page.reader_nodes)}, "
+                f"tags {list(page.tags)}"
+            )
+        return "\n".join(lines)

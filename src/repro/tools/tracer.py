@@ -1,0 +1,102 @@
+"""The page-fault trace (§IV-A).
+
+"DeX provides a profiling tool that collects a page fault trace containing
+a six-tuple for each observed page fault requiring the memory consistency
+protocol.  Each tuple contains the system time when the page fault
+occurred, the node ID where the fault occurred, the task ID for the
+faulting task, the type of the fault (i.e., read/write/invalidate), the
+memory address of the faulting instruction, the memory address that caused
+the fault, and a user-specified identifier for tagging individual pieces
+of the application."
+
+In this reproduction the "address of the faulting instruction" is the
+``site`` label application code passes with its accesses (a source-location
+string), and the user identifier is the tag of the VMA the fault landed in.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One trace record (the paper's six-tuple)."""
+
+    time_us: float
+    node: int
+    tid: int
+    fault_type: str  # "read" | "write" | "invalidate"
+    site: str        # faulting "instruction": the access's source label
+    addr: int        # faulting memory address
+    tag: str = ""    # user identifier: the VMA tag
+
+
+class FaultTracer:
+    """Collects :class:`FaultEvent` records; attach with
+    :meth:`repro.core.DexProcess.attach_tracer`."""
+
+    def __init__(self, max_events: int = 2_000_000):
+        self.events: List[FaultEvent] = []
+        self.max_events = max_events
+        self.dropped = 0
+
+    def record(
+        self,
+        time_us: float,
+        node: int,
+        tid: int,
+        fault_type: str,
+        site: str,
+        addr: int,
+        tag: str = "",
+    ) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(
+            FaultEvent(time_us, node, tid, fault_type, site, addr, tag)
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+    # -- persistence (the ftrace handoff analogue) -------------------------
+
+    def save_csv(self, path: str) -> None:
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(
+                ["time_us", "node", "tid", "fault_type", "site", "addr", "tag"]
+            )
+            for e in self.events:
+                writer.writerow(
+                    [e.time_us, e.node, e.tid, e.fault_type, e.site, e.addr, e.tag]
+                )
+
+    @classmethod
+    def load_csv(cls, path: str) -> "FaultTracer":
+        tracer = cls()
+        with open(path, newline="") as fh:
+            for row in csv.DictReader(fh):
+                tracer.events.append(
+                    FaultEvent(
+                        time_us=float(row["time_us"]),
+                        node=int(row["node"]),
+                        tid=int(row["tid"]),
+                        fault_type=row["fault_type"],
+                        site=row["site"],
+                        addr=int(row["addr"]),
+                        tag=row["tag"],
+                    )
+                )
+        return tracer

@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DexCluster, SimParams
+from repro.runtime import MemoryAllocator
+
+
+def make_cluster(num_nodes: int = 4, **param_overrides) -> DexCluster:
+    """A cluster with optional SimParams field overrides."""
+    params = SimParams(**param_overrides) if param_overrides else SimParams()
+    return DexCluster(num_nodes=num_nodes, params=params)
+
+
+def run_main(cluster: DexCluster, main, *args):
+    """Run *main(ctx, *args)* in a fresh process; returns (result, proc)."""
+    proc = cluster.create_process()
+    result = cluster.simulate(main, proc, *args)
+    return result, proc
+
+
+@pytest.fixture
+def cluster():
+    return make_cluster()
+
+
+@pytest.fixture
+def cluster2():
+    return make_cluster(num_nodes=2)
+
+
+@pytest.fixture
+def proc(cluster):
+    return cluster.create_process()
+
+
+@pytest.fixture
+def alloc(proc):
+    return MemoryAllocator(proc)

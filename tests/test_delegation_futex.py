@@ -1,0 +1,188 @@
+"""Tests for work delegation (§III-A) and the distributed futex."""
+
+import pytest
+
+from repro.core.errors import DexError
+from repro.runtime import MemoryAllocator
+
+from conftest import make_cluster
+
+GLOBALS = 0x1000_0000
+
+
+def test_delegated_noop_roundtrip():
+    cluster = make_cluster(num_nodes=2)
+    proc = cluster.create_process()
+
+    def main(ctx):
+        yield from ctx.migrate(1)
+        result = yield from proc.delegation.call(ctx.node, ctx.tid, "noop")
+        yield from ctx.migrate_back()
+        return result
+
+    assert cluster.simulate(main, proc) == "ok"
+    assert proc.stats.delegations == 1
+
+
+def test_delegation_at_origin_is_direct():
+    cluster = make_cluster()
+    proc = cluster.create_process()
+
+    def main(ctx):
+        result = yield from proc.delegation.call(ctx.node, ctx.tid, "noop")
+        return result
+
+    assert cluster.simulate(main, proc) == "ok"
+    assert proc.stats.delegations == 0  # no message needed
+
+
+def test_unknown_op_rejected_locally():
+    cluster = make_cluster()
+    proc = cluster.create_process()
+
+    def main(ctx):
+        try:
+            yield from proc.delegation.call(ctx.node, ctx.tid, "fly")
+        except DexError:
+            return "rejected"
+
+    assert cluster.simulate(main, proc) == "rejected"
+
+
+def test_duplicate_op_registration_rejected():
+    cluster = make_cluster()
+    proc = cluster.create_process()
+    with pytest.raises(DexError):
+        proc.delegation.register("noop", lambda ctx: None)
+
+
+def test_custom_delegated_op():
+    cluster = make_cluster(num_nodes=2)
+    proc = cluster.create_process()
+    log = []
+
+    def audit(origin_ctx, message):
+        log.append(message)
+        yield proc.cluster.engine.timeout(1.0)
+        return len(log)
+
+    proc.delegation.register("audit", audit)
+
+    def main(ctx):
+        yield from ctx.migrate(1)
+        n = yield from proc.delegation.call(ctx.node, ctx.tid, "audit",
+                                            message="hello")
+        return n
+
+    assert cluster.simulate(main, proc) == 1
+    assert log == ["hello"]
+
+
+# ---------------------------------------------------------------------------
+# futex
+# ---------------------------------------------------------------------------
+
+
+def test_futex_wait_eagain_when_value_changed():
+    cluster = make_cluster(num_nodes=2)
+    proc = cluster.create_process()
+
+    def main(ctx):
+        yield from ctx.write_u32(GLOBALS, 7)
+        yield from ctx.migrate(1)
+        result = yield from ctx.futex_wait(GLOBALS, expected=3)
+        return result
+
+    assert cluster.simulate(main, proc) == "eagain"
+
+
+def test_futex_wake_with_no_waiters_returns_zero():
+    cluster = make_cluster()
+    proc = cluster.create_process()
+
+    def main(ctx):
+        woken = yield from ctx.futex_wake(GLOBALS, 5)
+        return woken
+
+    assert cluster.simulate(main, proc) == 0
+
+
+def test_futex_cross_node_wait_wake():
+    """A remote thread sleeps on a futex word; another remote thread on a
+    different node wakes it — both via delegation to the origin."""
+    cluster = make_cluster(num_nodes=3)
+    proc = cluster.create_process()
+    events = []
+
+    def sleeper(ctx):
+        yield from ctx.migrate(1)
+        result = yield from ctx.futex_wait(GLOBALS, expected=0)
+        events.append(("woken", ctx.now))
+        return result
+
+    def waker(ctx):
+        yield from ctx.migrate(2)
+        yield ctx.engine.timeout(3000.0)
+        yield from ctx.write_u32(GLOBALS, 1)
+        woken = yield from ctx.futex_wake(GLOBALS, 1)
+        events.append(("wake_sent", ctx.now))
+        return woken
+
+    t1 = proc.spawn_thread(sleeper)
+    t2 = proc.spawn_thread(waker)
+
+    def main(ctx):
+        results = yield from proc.join_all([t1, t2])
+        return results
+
+    results = cluster.simulate(main, proc)
+    assert results == ["woken", 1]
+    assert proc.stats.futex_waits == 1
+    assert proc.stats.futex_wakes == 1
+
+
+def test_futex_wake_count_limits_wakeups():
+    cluster = make_cluster(num_nodes=2)
+    proc = cluster.create_process()
+    woken_order = []
+
+    def sleeper(ctx, tag):
+        result = yield from ctx.futex_wait(GLOBALS, expected=0)
+        woken_order.append(tag)
+        return result
+
+    sleepers = [proc.spawn_thread(sleeper, i) for i in range(3)]
+
+    def main(ctx):
+        yield ctx.engine.timeout(100.0)
+        woken = yield from ctx.futex_wake(GLOBALS, 2)
+        yield ctx.engine.timeout(100.0)
+        assert woken == 2
+        assert len(woken_order) == 2
+        # wake the last one so the simulation can finish
+        yield from ctx.futex_wake(GLOBALS, 10)
+        yield from proc.join_all(sleepers)
+        return woken_order
+
+    assert cluster.simulate(main, proc) == [0, 1, 2]  # FIFO wake order
+
+
+def test_futex_pulls_word_through_protocol():
+    """The futex value check reads through the DSM at the origin: if a
+    remote node holds the word exclusively, the check must see that value
+    (the page is pulled back)."""
+    cluster = make_cluster(num_nodes=2)
+    proc = cluster.create_process()
+
+    def main(ctx):
+        yield from ctx.migrate(1)
+        yield from ctx.write_u32(GLOBALS, 9)  # node 1 exclusive
+        # futex compare runs at the origin and must observe 9
+        result = yield from ctx.futex_wait(GLOBALS, expected=5)
+        return result
+
+    assert cluster.simulate(main, proc) == "eagain"
+    # the origin had to fault the page back for the compare
+    vpn = GLOBALS // cluster.params.page_size
+    entry = proc.protocol.directory.lookup(vpn)
+    assert 0 in entry.owners

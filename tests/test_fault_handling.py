@@ -1,0 +1,152 @@
+"""Tests for leader-follower fault coalescing (§III-C) and fault retries."""
+
+from repro.runtime import MemoryAllocator
+
+from conftest import make_cluster
+
+GLOBALS = 0x1000_0000
+
+
+def _same_page_readers(enable_coalescing: bool):
+    """Eight threads on one remote node fault on the same cold page at the
+    same instant."""
+    cluster = make_cluster(
+        num_nodes=2, enable_fault_coalescing=enable_coalescing
+    )
+    proc = cluster.create_process()
+    gate = cluster.engine.event()
+
+    def reader(ctx):
+        yield from ctx.migrate(1)
+        yield gate
+        value = yield from ctx.read_i64(GLOBALS)
+        return value
+
+    threads = [proc.spawn_thread(reader) for _ in range(8)]
+
+    def main(ctx):
+        yield from ctx.write_i64(GLOBALS, 77)
+        yield ctx.engine.timeout(5000.0)  # let everyone migrate and park
+        gate.succeed()
+        results = yield from proc.join_all(threads)
+        return results
+
+    results = cluster.simulate(main, proc)
+    assert results == [77] * 8
+    proc.protocol.check_invariants()
+    return proc.stats
+
+
+def test_followers_coalesce_into_one_protocol_request():
+    stats = _same_page_readers(enable_coalescing=True)
+    # one leader fault, seven followers
+    assert stats.faults_coalesced == 7
+    assert stats.pages_transferred == 1
+    assert stats.fault_retries == 0
+
+
+def test_coalescing_off_multiplies_protocol_traffic():
+    on = _same_page_readers(enable_coalescing=True)
+    off = _same_page_readers(enable_coalescing=False)
+    assert off.faults_coalesced == 0
+    # every thread runs the protocol itself; later ones are no-op grants
+    # or retries, but each is a full round trip to the origin
+    assert off.total_faults - off.faults_coalesced > 1
+    assert (off.fault_retries + off.total_faults) > (
+        on.fault_retries + on.total_faults - on.faults_coalesced
+    )
+
+
+def test_read_leader_does_not_cover_writer():
+    """A thread needing write access must not follow a read leader; it
+    re-faults for exclusive ownership afterwards."""
+    cluster = make_cluster(num_nodes=2)
+    proc = cluster.create_process()
+    gate = cluster.engine.event()
+    order = []
+
+    def reader(ctx):
+        yield from ctx.migrate(1)
+        yield gate
+        value = yield from ctx.read_i64(GLOBALS)
+        order.append(("read", value))
+
+    def writer(ctx):
+        yield from ctx.migrate(1)
+        yield gate
+        yield from ctx.write_i64(GLOBALS, 5)
+        order.append(("write", 5))
+
+    t_r = proc.spawn_thread(reader)
+    t_w = proc.spawn_thread(writer)
+
+    def main(ctx):
+        yield ctx.engine.timeout(5000.0)
+        gate.succeed()
+        yield from proc.join_all([t_r, t_w])
+        final = yield from ctx.read_i64(GLOBALS)
+        return final
+
+    final = cluster.simulate(main, proc)
+    assert final == 5
+    vpn = GLOBALS // cluster.params.page_size
+    entry = proc.protocol.directory.lookup(vpn)
+    assert entry is not None
+    proc.protocol.check_invariants()
+
+
+def test_contended_page_produces_bimodal_latencies():
+    """The §V-D microbenchmark shape: ping-ponging one variable between two
+    nodes produces a fast mode and a contended (retried) mode roughly an
+    order of magnitude slower."""
+    cluster = make_cluster(num_nodes=2)
+    proc = cluster.create_process()
+    alloc = MemoryAllocator(proc)
+    var = alloc.alloc_global(8, tag="shared")
+    deadline = 30_000.0
+
+    def hammer(ctx, dest):
+        if dest is not None:
+            yield from ctx.migrate(dest)
+        count = 0
+        while ctx.now < deadline:
+            yield from ctx.atomic_add_i64(var, 1)
+            yield from ctx.compute(cpu_us=0.1)
+            count += 1
+        return count
+
+    t1 = proc.spawn_thread(hammer, None)
+    t2 = proc.spawn_thread(hammer, 1)
+
+    def main(ctx):
+        counts = yield from proc.join_all([t1, t2])
+        total = yield from ctx.read_i64(var)
+        return counts, total
+
+    (counts, total) = cluster.simulate(main, proc)
+    assert total == sum(counts)  # no lost updates
+    stats = proc.stats
+    fast = [r.latency_us for r in stats.fault_latencies
+            if r.retries == 0 and not r.coalesced]
+    slow = [r.latency_us for r in stats.fault_latencies if r.retries > 0]
+    assert len(fast) > 10 and len(slow) > 10
+    mean_fast = sum(fast) / len(fast)
+    mean_slow = sum(slow) / len(slow)
+    assert 10.0 < mean_fast < 30.0          # paper: 19.3us
+    assert 100.0 < mean_slow < 250.0        # paper: 158.8us
+    assert mean_slow / mean_fast > 4.0      # clearly bimodal
+
+
+def test_fault_latency_summary():
+    cluster = make_cluster(num_nodes=2)
+
+    def main(ctx):
+        yield from ctx.migrate(1)
+        yield from ctx.write_i64(GLOBALS, 1)
+        yield from ctx.migrate_back()
+
+    proc = cluster.create_process()
+    cluster.simulate(main, proc)
+    summary = proc.stats.latency_summary()
+    assert summary["fast_path_count"] == 1
+    assert summary["fast_path_mean_us"] > 5.0

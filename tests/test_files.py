@@ -1,0 +1,160 @@
+"""Tests for file I/O through work delegation (§III-A)."""
+
+import pytest
+
+from repro.core.errors import DexError
+
+from conftest import make_cluster
+
+
+def test_read_preloaded_file_from_remote():
+    """A remote thread reads a file staged at the origin; the read runs
+    at the origin via delegation and the bytes come back intact."""
+    cluster = make_cluster(num_nodes=2)
+    proc = cluster.create_process()
+    proc.files.preload("/data/input.txt", b"hello from the NFS share")
+
+    def main(ctx):
+        yield from ctx.migrate(1)
+        fd = yield from ctx.fopen("/data/input.txt")
+        assert fd >= 3
+        first = yield from ctx.fread(fd, 5)
+        rest = yield from ctx.fread(fd, 100)
+        yield from ctx.fclose(fd)
+        yield from ctx.migrate_back()
+        return first, rest
+
+    first, rest = cluster.simulate(main, proc)
+    assert first == b"hello"
+    assert rest == b" from the NFS share"
+    assert proc.stats.delegations >= 4  # open/read/read/close went remote
+    assert proc.files.ops >= 4
+
+
+def test_missing_file_returns_enoent():
+    cluster = make_cluster(num_nodes=2)
+    proc = cluster.create_process()
+
+    def main(ctx):
+        yield from ctx.migrate(1)
+        fd = yield from ctx.fopen("/no/such/file")
+        return fd
+
+    assert cluster.simulate(main, proc) == -1
+
+
+def test_write_from_remote_lands_at_origin():
+    cluster = make_cluster(num_nodes=2)
+    proc = cluster.create_process()
+
+    def main(ctx):
+        yield from ctx.migrate(1)
+        fd = yield from ctx.fopen("/out/result.bin", "w")
+        written = yield from ctx.fwrite(fd, bytes(range(256)))
+        yield from ctx.fclose(fd)
+        yield from ctx.migrate_back()
+        return written
+
+    assert cluster.simulate(main, proc) == 256
+    assert proc.files.contents("/out/result.bin") == bytes(range(256))
+
+
+def test_append_and_seek():
+    cluster = make_cluster()
+    proc = cluster.create_process()
+    proc.files.preload("/log", b"AAAA")
+
+    def main(ctx):
+        fd = yield from ctx.fopen("/log", "a")
+        yield from ctx.fwrite(fd, b"BBBB")
+        yield from ctx.fseek(fd, 0)
+        head = yield from ctx.fread(fd, 8)
+        yield from ctx.fclose(fd)
+        return head
+
+    assert cluster.simulate(main, proc) == b"AAAABBBB"
+
+
+def test_sparse_write_zero_fills():
+    cluster = make_cluster()
+    proc = cluster.create_process()
+
+    def main(ctx):
+        fd = yield from ctx.fopen("/sparse", "w")
+        yield from ctx.fseek(fd, 4)
+        yield from ctx.fwrite(fd, b"XY")
+        yield from ctx.fclose(fd)
+        return None
+
+    cluster.simulate(main, proc)
+    assert proc.files.contents("/sparse") == b"\x00\x00\x00\x00XY"
+
+
+def test_write_to_readonly_fd_rejected():
+    cluster = make_cluster()
+    proc = cluster.create_process()
+    proc.files.preload("/ro", b"data")
+
+    def main(ctx):
+        fd = yield from ctx.fopen("/ro", "r")
+        try:
+            yield from ctx.fwrite(fd, b"nope")
+        except DexError:
+            return "rejected"
+        return "accepted"
+
+    assert cluster.simulate(main, proc) == "rejected"
+
+
+def test_bad_fd_rejected():
+    cluster = make_cluster()
+    proc = cluster.create_process()
+
+    def main(ctx):
+        try:
+            yield from ctx.fread(99, 4)
+        except DexError:
+            return "rejected"
+        return "accepted"
+
+    assert cluster.simulate(main, proc) == "rejected"
+
+
+def test_bad_mode_rejected():
+    cluster = make_cluster()
+    proc = cluster.create_process()
+
+    def main(ctx):
+        try:
+            yield from ctx.fopen("/x", "rb+")
+        except DexError:
+            return "rejected"
+        return "accepted"
+
+    assert cluster.simulate(main, proc) == "rejected"
+
+
+def test_two_descriptors_independent_offsets():
+    cluster = make_cluster(num_nodes=2)
+    proc = cluster.create_process()
+    proc.files.preload("/shared", b"0123456789")
+
+    def main(ctx):
+        yield from ctx.migrate(1)
+        fd1 = yield from ctx.fopen("/shared")
+        fd2 = yield from ctx.fopen("/shared")
+        a = yield from ctx.fread(fd1, 3)
+        b = yield from ctx.fread(fd2, 5)
+        c = yield from ctx.fread(fd1, 3)
+        yield from ctx.fclose(fd1)
+        yield from ctx.fclose(fd2)
+        return a, b, c
+
+    assert cluster.simulate(main, proc) == (b"012", b"01234", b"345")
+
+
+def test_contents_of_unknown_file_raises():
+    cluster = make_cluster()
+    proc = cluster.create_process()
+    with pytest.raises(DexError):
+        proc.files.contents("/nowhere")

@@ -1,0 +1,144 @@
+"""Tests for thread migration (§III-A) and its Table II timing shape."""
+
+import pytest
+
+from repro.core.errors import MigrationError
+
+from conftest import make_cluster
+
+GLOBALS = 0x1000_0000
+
+
+def migrate_n_times(n_rounds=3):
+    cluster = make_cluster(num_nodes=2)
+    proc = cluster.create_process()
+
+    def main(ctx):
+        for _ in range(n_rounds):
+            yield from ctx.migrate(1)
+            yield from ctx.migrate_back()
+
+    cluster.simulate(main, proc)
+    return proc.stats.migrations
+
+
+def test_migration_record_sequence():
+    records = migrate_n_times(2)
+    assert [m.kind for m in records] == [
+        "forward", "backward", "forward", "backward"
+    ]
+    assert records[0].first_on_node is True
+    assert records[2].first_on_node is False
+
+
+def test_first_forward_dominated_by_remote_worker_setup():
+    """Figure 3: ~620us of the ~800us remote side is remote-worker setup."""
+    first = migrate_n_times(1)[0]
+    assert first.components["remote_worker"] == pytest.approx(620.0)
+    assert first.remote_us == pytest.approx(800.0)
+    assert first.origin_us == pytest.approx(12.1)
+    assert 780.0 < first.total_us < 880.0  # paper: 812.1 (origin+remote sums)
+
+
+def test_second_forward_skips_worker_setup():
+    records = migrate_n_times(2)
+    second = records[2]
+    assert "remote_worker" not in second.components
+    assert second.remote_us == pytest.approx(230.0)
+    assert second.origin_us == pytest.approx(6.6)
+    assert second.total_us < records[0].total_us * 0.45  # paper: 236.6 vs 812.1
+
+
+def test_backward_migration_is_cheap():
+    records = migrate_n_times(1)
+    backward = records[1]
+    assert backward.kind == "backward"
+    assert backward.total_us < 40.0  # paper: 24.7
+    assert backward.total_us < records[0].total_us / 10
+
+
+def test_backward_latency_stable_across_repetitions():
+    records = migrate_n_times(3)
+    backs = [m.total_us for m in records if m.kind == "backward"]
+    assert max(backs) - min(backs) < 1e-6  # "almost the same" (§V-D)
+
+
+def test_migrate_to_current_node_is_noop():
+    cluster = make_cluster()
+    proc = cluster.create_process()
+
+    def main(ctx):
+        yield from ctx.migrate(0)  # already at the origin
+
+    cluster.simulate(main, proc)
+    assert proc.stats.migrations == []
+
+
+def test_migrate_to_bad_node_rejected():
+    cluster = make_cluster(num_nodes=2)
+    proc = cluster.create_process()
+
+    def main(ctx):
+        try:
+            yield from ctx.migrate(99)
+        except MigrationError:
+            return "rejected"
+        return "accepted"
+
+    assert cluster.simulate(main, proc) == "rejected"
+
+
+def test_remote_to_remote_migration():
+    """Threads 'can be relocated again to any node at any time'."""
+    cluster = make_cluster(num_nodes=3)
+    proc = cluster.create_process()
+
+    def main(ctx):
+        yield from ctx.write_i64(GLOBALS, 10)
+        yield from ctx.migrate(1)
+        value = yield from ctx.read_i64(GLOBALS)
+        yield from ctx.migrate(2)  # direct remote -> remote
+        yield from ctx.write_i64(GLOBALS, value + 1)
+        yield from ctx.migrate_back()
+        final = yield from ctx.read_i64(GLOBALS)
+        return final
+
+    assert cluster.simulate(main, proc) == 11
+    kinds = [(m.kind, m.src, m.dst) for m in proc.stats.migrations]
+    assert ("forward", 1, 2) in kinds
+    proc.protocol.check_invariants()
+
+
+def test_concurrent_first_migrations_to_same_node():
+    """Multiple threads migrating to the same fresh node: the remote
+    worker is created once; later arrivals fork from it."""
+    cluster = make_cluster(num_nodes=2)
+    proc = cluster.create_process()
+
+    def worker(ctx):
+        yield from ctx.migrate(1)
+        yield from ctx.compute(cpu_us=10.0)
+        yield from ctx.migrate_back()
+
+    threads = [proc.spawn_thread(worker) for _ in range(4)]
+
+    def main(ctx):
+        yield from proc.join_all(threads)
+
+    cluster.simulate(main, proc)
+    forwards = [m for m in proc.stats.migrations if m.kind == "forward"]
+    firsts = [m for m in forwards if "remote_worker" in m.components]
+    assert len(firsts) == 1
+    assert len(forwards) == 4
+
+
+def test_migration_count_tracked():
+    cluster = make_cluster(num_nodes=2)
+    proc = cluster.create_process()
+
+    def main(ctx):
+        yield from ctx.migrate(1)
+        yield from ctx.migrate_back()
+        return ctx.thread.migration_count
+
+    assert cluster.simulate(main, proc) == 2

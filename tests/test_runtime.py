@@ -1,0 +1,296 @@
+"""Tests for the application runtime: allocator, arrays, sync, openmp."""
+
+import numpy as np
+import pytest
+
+from repro.core.process import GLOBALS_BASE, HEAP_BASE
+from repro.runtime import Barrier, MemoryAllocator, Mutex, parallel_region
+from repro.runtime.alloc import AllocationError
+from repro.runtime.array import alloc_array
+from repro.runtime.openmp import node_for_worker
+
+from conftest import make_cluster
+
+PAGE = 4096
+
+
+# ---------------------------------------------------------------------------
+# allocator
+# ---------------------------------------------------------------------------
+
+
+def test_globals_bump_allocation(proc):
+    alloc = MemoryAllocator(proc)
+    a = alloc.alloc_global(10)
+    b = alloc.alloc_global(10)
+    assert a == GLOBALS_BASE
+    assert b == a + 16  # aligned to 8
+    assert alloc.globals_used() == b + 10 - GLOBALS_BASE
+
+
+def test_page_aligned_global(proc):
+    alloc = MemoryAllocator(proc)
+    alloc.alloc_global(100)
+    aligned = alloc.alloc_global(8, align=PAGE)
+    assert aligned % PAGE == 0
+
+
+def test_malloc_shares_pages_memalign_does_not(proc):
+    """The §IV-B contrast: consecutive mallocs co-locate; posix_memalign
+    isolates objects on their own pages."""
+    alloc = MemoryAllocator(proc)
+    a = alloc.malloc(64)
+    b = alloc.malloc(64)
+    assert a // PAGE == b // PAGE  # same page: false-sharing prone
+    c = alloc.posix_memalign(64)
+    d = alloc.posix_memalign(64)
+    assert c % PAGE == 0 and d % PAGE == 0
+    assert c // PAGE != d // PAGE
+
+
+def test_heap_vma_mapped_on_demand(proc):
+    alloc = MemoryAllocator(proc)
+    addr = alloc.malloc(100 * 1024 * 1024)  # spans two slabs
+    origin_map = proc.node_state(proc.origin).vma_map
+    assert origin_map.find(addr) is not None
+    assert origin_map.find(addr + 100 * 1024 * 1024 - 1) is not None
+
+
+def test_bad_alignment_rejected(proc):
+    alloc = MemoryAllocator(proc)
+    with pytest.raises(ValueError):
+        alloc.alloc_global(8, align=3)
+
+
+def test_non_positive_size_rejected(proc):
+    alloc = MemoryAllocator(proc)
+    with pytest.raises(ValueError):
+        alloc.malloc(0)
+
+
+def test_globals_exhaustion(proc):
+    alloc = MemoryAllocator(proc)
+    with pytest.raises(AllocationError):
+        alloc.alloc_global(1 << 40)
+
+
+def test_pad_to_page(proc):
+    alloc = MemoryAllocator(proc)
+    alloc.alloc_global(5)
+    alloc.pad_to_page()
+    nxt = alloc.alloc_global(8)
+    assert nxt % PAGE == 0
+
+
+# ---------------------------------------------------------------------------
+# DistArray
+# ---------------------------------------------------------------------------
+
+
+def test_array_roundtrip_across_nodes():
+    cluster = make_cluster()
+    proc = cluster.create_process()
+    alloc = MemoryAllocator(proc)
+    arr = alloc_array(alloc, np.float64, 100, name="xs")
+
+    def main(ctx):
+        yield from arr.write(ctx, 0, np.linspace(0.0, 1.0, 100))
+        yield from ctx.migrate(2)
+        data = yield from arr.read(ctx)
+        yield from ctx.migrate_back()
+        return data
+
+    data = cluster.simulate(main, proc)
+    assert np.allclose(data, np.linspace(0.0, 1.0, 100))
+
+
+def test_array_slice_and_element_ops():
+    cluster = make_cluster()
+    proc = cluster.create_process()
+    alloc = MemoryAllocator(proc)
+    arr = alloc_array(alloc, np.int32, 50)
+
+    def main(ctx):
+        yield from arr.write(ctx, 10, np.arange(5, dtype=np.int32))
+        part = yield from arr.read(ctx, 10, 15)
+        yield from arr.set(ctx, 0, 99)
+        first = yield from arr.get(ctx, 0)
+        old = yield from arr.add(ctx, 0, 1)
+        newer = yield from arr.get(ctx, 0)
+        return list(part), first, old, newer
+
+    part, first, old, newer = cluster.simulate(main, proc)
+    assert part == [0, 1, 2, 3, 4]
+    assert (first, old, newer) == (99, 99, 100)
+
+
+def test_array_bounds_checked():
+    cluster = make_cluster()
+    proc = cluster.create_process()
+    alloc = MemoryAllocator(proc)
+    arr = alloc_array(alloc, np.int64, 4)
+
+    def main(ctx):
+        with pytest.raises(IndexError):
+            yield from arr.get(ctx, 4)
+        with pytest.raises(IndexError):
+            yield from arr.read(ctx, 0, 5)
+        with pytest.raises(IndexError):
+            yield from arr.write(ctx, 3, np.zeros(2, dtype=np.int64))
+        return "checked"
+
+    assert cluster.simulate(main, proc) == "checked"
+
+
+def test_alloc_array_segments_and_alignment(proc):
+    alloc = MemoryAllocator(proc)
+    heap_arr = alloc_array(alloc, np.int8, 10, page_aligned=True)
+    glob_arr = alloc_array(alloc, np.int8, 10, segment="globals", page_aligned=True)
+    assert heap_arr.addr % PAGE == 0 and heap_arr.addr >= HEAP_BASE
+    assert glob_arr.addr % PAGE == 0 and glob_arr.addr < HEAP_BASE
+    with pytest.raises(ValueError):
+        alloc_array(alloc, np.int8, 1, segment="stack")
+    assert heap_arr.page_span() == 1
+
+
+# ---------------------------------------------------------------------------
+# Mutex / Barrier
+# ---------------------------------------------------------------------------
+
+
+def test_mutex_mutual_exclusion_across_nodes():
+    cluster = make_cluster()
+    proc = cluster.create_process()
+    alloc = MemoryAllocator(proc)
+    mutex = Mutex(alloc, name="m")
+    shared = alloc.alloc_global(8, tag="protected")
+    in_section = []
+
+    def worker(ctx, node):
+        yield from ctx.migrate(node)
+        for _ in range(5):
+            yield from mutex.lock(ctx)
+            in_section.append(ctx.tid)
+            # unprotected read-modify-write: correct ONLY under the lock
+            value = yield from ctx.read_i64(shared)
+            yield from ctx.compute(cpu_us=3.0)
+            yield from ctx.write_i64(shared, value + 1)
+            assert in_section[-1] == ctx.tid  # nobody slipped in
+            in_section.pop()
+            yield from mutex.unlock(ctx)
+        yield from ctx.migrate_back()
+
+    threads = [proc.spawn_thread(worker, n) for n in range(4)]
+
+    def main(ctx):
+        yield from proc.join_all(threads)
+        total = yield from ctx.read_i64(shared)
+        return total
+
+    assert cluster.simulate(main, proc) == 20
+
+
+def test_barrier_synchronizes_all_parties():
+    cluster = make_cluster()
+    proc = cluster.create_process()
+    alloc = MemoryAllocator(proc)
+    barrier = Barrier(alloc, parties=4, name="b")
+    phases = []
+
+    def worker(ctx, node, delay):
+        yield from ctx.migrate(node)
+        for phase in range(3):
+            yield from ctx.compute(cpu_us=delay)
+            phases.append((phase, ctx.tid, "arrive"))
+            yield from barrier.wait(ctx)
+            phases.append((phase, ctx.tid, "pass"))
+        yield from ctx.migrate_back()
+
+    threads = [proc.spawn_thread(worker, n, 10.0 * (n + 1)) for n in range(4)]
+
+    def main(ctx):
+        yield from proc.join_all(threads)
+
+    cluster.simulate(main, proc)
+    # within each phase every arrival precedes every pass
+    for phase in range(3):
+        events = [e for e in phases if e[0] == phase]
+        last_arrive = max(i for i, e in enumerate(events) if e[2] == "arrive")
+        first_pass = min(i for i, e in enumerate(events) if e[2] == "pass")
+        assert last_arrive < first_pass
+
+
+def test_barrier_serial_thread_unique():
+    cluster = make_cluster(num_nodes=2)
+    proc = cluster.create_process()
+    alloc = MemoryAllocator(proc)
+    barrier = Barrier(alloc, parties=3)
+    serials = []
+
+    def worker(ctx):
+        is_serial = yield from barrier.wait(ctx)
+        serials.append(is_serial)
+
+    threads = [proc.spawn_thread(worker) for _ in range(3)]
+
+    def main(ctx):
+        yield from proc.join_all(threads)
+
+    cluster.simulate(main, proc)
+    assert sum(serials) == 1
+
+
+def test_barrier_param_validation(proc):
+    alloc = MemoryAllocator(proc)
+    with pytest.raises(ValueError):
+        Barrier(alloc, parties=0)
+
+
+# ---------------------------------------------------------------------------
+# parallel_region
+# ---------------------------------------------------------------------------
+
+
+def test_node_for_worker_block_assignment():
+    nodes = [0, 1, 2, 3]
+    placement = [node_for_worker(i, 8, nodes) for i in range(8)]
+    assert placement == [0, 0, 1, 1, 2, 2, 3, 3]
+    with pytest.raises(ValueError):
+        node_for_worker(8, 8, nodes)
+
+
+def test_parallel_region_distributes_and_returns():
+    cluster = make_cluster()
+    proc = cluster.create_process()
+    where = {}
+
+    def body(ctx, wid, scale):
+        where[wid] = ctx.node
+        yield from ctx.compute(cpu_us=5.0)
+        return wid * scale
+
+    def main(ctx):
+        results = yield from parallel_region(ctx, body, 8, args=(10,))
+        return results
+
+    results = cluster.simulate(main, proc)
+    assert results == [i * 10 for i in range(8)]
+    assert where == {i: i // 2 for i in range(8)}
+    # everyone migrated back
+    assert all(t.current_node == 0 for t in proc.threads)
+
+
+def test_parallel_region_no_migrate():
+    cluster = make_cluster()
+    proc = cluster.create_process()
+
+    def body(ctx, wid):
+        yield from ctx.compute(cpu_us=1.0)
+        return ctx.node
+
+    def main(ctx):
+        nodes = yield from parallel_region(ctx, body, 4, migrate=False)
+        return nodes
+
+    assert cluster.simulate(main, proc) == [0, 0, 0, 0]
+    assert proc.stats.migrations == []

@@ -1,0 +1,139 @@
+"""Unit + property tests for VMAs and the address-space map."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.vma import VMA, AddressSpaceMap, Protection, VMAError
+
+PAGE = 4096
+
+
+def test_empty_vma_rejected():
+    with pytest.raises(VMAError):
+        VMA(100, 100, Protection.READ)
+
+
+def test_mmap_aligns_to_pages():
+    space = AddressSpaceMap()
+    vma = space.mmap(PAGE + 5, 10, Protection.READ_WRITE)
+    assert vma.start == PAGE
+    assert vma.end == 2 * PAGE
+
+
+def test_mmap_overlap_rejected():
+    space = AddressSpaceMap()
+    space.mmap(0, PAGE, Protection.READ)
+    with pytest.raises(VMAError):
+        space.mmap(0, 10, Protection.READ)
+
+
+def test_mmap_non_positive_length_rejected():
+    space = AddressSpaceMap()
+    with pytest.raises(VMAError):
+        space.mmap(0, 0, Protection.READ)
+
+
+def test_find():
+    space = AddressSpaceMap()
+    vma = space.mmap(2 * PAGE, 2 * PAGE, Protection.READ_WRITE, tag="heap")
+    assert space.find(2 * PAGE) is vma
+    assert space.find(4 * PAGE - 1) is vma
+    assert space.find(4 * PAGE) is None
+    assert space.find(0) is None
+
+
+def test_munmap_middle_splits():
+    space = AddressSpaceMap()
+    space.mmap(0, 4 * PAGE, Protection.READ_WRITE, tag="big")
+    removed = space.munmap(PAGE, PAGE)
+    assert len(removed) == 1
+    assert removed[0].start == PAGE and removed[0].end == 2 * PAGE
+    assert space.find(0) is not None
+    assert space.find(PAGE) is None
+    assert space.find(2 * PAGE) is not None
+    assert space.find(2 * PAGE).tag == "big"
+
+
+def test_munmap_across_vmas():
+    space = AddressSpaceMap()
+    space.mmap(0, PAGE, Protection.READ)
+    space.mmap(PAGE, PAGE, Protection.READ_WRITE)
+    removed = space.munmap(0, 2 * PAGE)
+    assert len(removed) == 2
+    assert len(space) == 0
+
+
+def test_mprotect_splits_and_changes():
+    space = AddressSpaceMap()
+    space.mmap(0, 3 * PAGE, Protection.READ_WRITE)
+    changed = space.mprotect(PAGE, PAGE, Protection.READ)
+    assert len(changed) == 1
+    assert space.find(PAGE).prot == Protection.READ
+    assert space.find(0).prot == Protection.READ_WRITE
+    assert space.find(2 * PAGE).prot == Protection.READ_WRITE
+    assert space.find(PAGE).version > 0
+
+
+def test_mprotect_unmapped_rejected():
+    space = AddressSpaceMap()
+    space.mmap(0, PAGE, Protection.READ)
+    with pytest.raises(VMAError):
+        space.mprotect(0, 2 * PAGE, Protection.READ_WRITE)
+
+
+def test_replace_displaces_overlap():
+    space = AddressSpaceMap()
+    space.mmap(0, 4 * PAGE, Protection.READ, tag="old")
+    space.replace(VMA(PAGE, 3 * PAGE, Protection.READ_WRITE, tag="new", version=7))
+    assert space.find(0).tag == "old"
+    middle = space.find(PAGE)
+    assert middle.tag == "new" and middle.version == 7
+    assert space.find(3 * PAGE).tag == "old"
+
+
+def test_total_mapped():
+    space = AddressSpaceMap()
+    space.mmap(0, PAGE, Protection.READ)
+    space.mmap(8 * PAGE, 2 * PAGE, Protection.READ)
+    assert space.total_mapped() == 3 * PAGE
+
+
+def _non_overlapping(space: AddressSpaceMap) -> bool:
+    vmas = list(space)
+    for first, second in zip(vmas, vmas[1:]):
+        if first.end > second.start:
+            return False
+    return True
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["mmap", "munmap", "mprotect"]),
+            st.integers(min_value=0, max_value=63),  # page index
+            st.integers(min_value=1, max_value=8),  # pages
+        ),
+        max_size=40,
+    )
+)
+def test_random_ops_keep_map_sorted_and_disjoint(ops):
+    """Property: after any sequence of manipulations the map stays sorted,
+    non-overlapping, and page-aligned."""
+    space = AddressSpaceMap()
+    for op, page_idx, pages in ops:
+        start, length = page_idx * PAGE, pages * PAGE
+        try:
+            if op == "mmap":
+                space.mmap(start, length, Protection.READ_WRITE)
+            elif op == "munmap":
+                space.munmap(start, length)
+            else:
+                space.mprotect(start, length, Protection.READ)
+        except VMAError:
+            pass  # overlap / unmapped: legal rejections
+        assert _non_overlapping(space)
+        for vma in space:
+            assert vma.start % PAGE == 0 and vma.end % PAGE == 0
+            assert vma.start < vma.end

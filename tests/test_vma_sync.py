@@ -1,0 +1,152 @@
+"""Tests for on-demand VMA synchronization (§III-D)."""
+
+from repro.core.errors import SegmentationFault
+from repro.memory.vma import Protection
+
+from conftest import make_cluster
+
+GLOBALS = 0x1000_0000
+
+
+def test_remote_learns_vma_on_demand():
+    cluster = make_cluster(num_nodes=2)
+    proc = cluster.create_process()
+
+    def main(ctx):
+        yield from ctx.migrate(1)
+        value = yield from ctx.read_i64(GLOBALS)  # replica miss -> query
+        return value
+
+    assert cluster.simulate(main, proc) == 0
+    assert proc.stats.vma_queries == 1
+    replica = proc.node_state(1).vma_map
+    assert replica.find(GLOBALS) is not None
+    assert replica.find(GLOBALS).tag == "globals"
+
+
+def test_vma_replica_reused_no_requery():
+    cluster = make_cluster(num_nodes=2)
+    proc = cluster.create_process()
+
+    def main(ctx):
+        yield from ctx.migrate(1)
+        yield from ctx.read_i64(GLOBALS)
+        yield from ctx.read_i64(GLOBALS + 8192)  # same VMA, other page
+        return None
+
+    cluster.simulate(main, proc)
+    assert proc.stats.vma_queries == 1
+
+
+def test_mmap_visible_remotely_without_broadcast():
+    """Permissive operations are not broadcast; remotes pick them up
+    lazily."""
+    cluster = make_cluster(num_nodes=2)
+    proc = cluster.create_process()
+
+    def main(ctx):
+        start = yield from ctx.mmap(8192, tag="fresh")
+        yield from ctx.write_i64(start, 5)
+        yield from ctx.migrate(1)
+        value = yield from ctx.read_i64(start)
+        return value
+
+    assert cluster.simulate(main, proc) == 5
+    assert proc.stats.vma_shrink_broadcasts == 0
+
+
+def test_remote_mmap_via_delegation():
+    cluster = make_cluster(num_nodes=2)
+    proc = cluster.create_process()
+
+    def main(ctx):
+        yield from ctx.migrate(1)
+        start = yield from ctx.mmap(4096, tag="remote_alloc")
+        yield from ctx.write_i64(start, 11)
+        yield from ctx.migrate_back()
+        value = yield from ctx.read_i64(start)
+        return value
+
+    assert cluster.simulate(main, proc) == 11
+    assert proc.stats.delegations >= 1
+
+
+def test_munmap_broadcast_drops_remote_state():
+    cluster = make_cluster(num_nodes=2)
+    proc = cluster.create_process()
+
+    def main(ctx):
+        start = yield from ctx.mmap(4096, tag="doomed")
+        yield from ctx.migrate(1)
+        yield from ctx.write_i64(start, 3)       # node 1 owns the page
+        yield from ctx.migrate_back()
+        yield from ctx.munmap(start, 4096)       # eager shrink broadcast
+        return start
+
+    start = cluster.simulate(main, proc)
+    assert proc.stats.vma_shrink_broadcasts == 1
+    vpn = start // cluster.params.page_size
+    remote = proc.node_state(1)
+    assert remote.vma_map.find(start) is None
+    assert remote.page_table.lookup(vpn) is None
+    assert vpn not in remote.frames
+    assert proc.protocol.directory.lookup(vpn) is None
+
+
+def test_access_after_munmap_segfaults_remotely():
+    cluster = make_cluster(num_nodes=2)
+    proc = cluster.create_process()
+
+    def main(ctx):
+        start = yield from ctx.mmap(4096, tag="gone")
+        yield from ctx.migrate(1)
+        yield from ctx.write_i64(start, 1)
+        yield from ctx.migrate_back()
+        yield from ctx.munmap(start, 4096)
+        yield from ctx.migrate(1)
+        try:
+            yield from ctx.read_i64(start)
+        except SegmentationFault:
+            return "segv"
+        return "survived"
+
+    assert cluster.simulate(main, proc) == "segv"
+
+
+def test_mprotect_downgrade_broadcast_and_enforcement():
+    cluster = make_cluster(num_nodes=2)
+    proc = cluster.create_process()
+
+    def main(ctx):
+        start = yield from ctx.mmap(4096, tag="ro_later")
+        yield from ctx.migrate(1)
+        yield from ctx.write_i64(start, 1)
+        yield from ctx.migrate_back()
+        yield from ctx.mprotect(start, 4096, int(Protection.READ))
+        yield from ctx.migrate(1)
+        value = yield from ctx.read_i64(start)   # reads still fine
+        try:
+            yield from ctx.write_i64(start, 2)   # writes must trap
+        except SegmentationFault:
+            return ("segv", value)
+        return ("survived", value)
+
+    result = cluster.simulate(main, proc)
+    assert result == ("segv", 1)
+    assert proc.stats.vma_shrink_broadcasts == 1
+
+
+def test_mprotect_upgrade_not_broadcast():
+    cluster = make_cluster(num_nodes=2)
+    proc = cluster.create_process()
+
+    def main(ctx):
+        start = yield from ctx.mmap(4096, prot=int(Protection.READ), tag="up")
+        yield from ctx.migrate(1)
+        _ = yield from ctx.read_i64(start)
+        yield from ctx.migrate_back()
+        yield from ctx.mprotect(start, 4096, int(Protection.READ_WRITE))
+        return None
+
+    cluster.simulate(main, proc)
+    assert proc.stats.vma_shrink_broadcasts == 0
