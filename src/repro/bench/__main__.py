@@ -35,6 +35,11 @@ def main(argv=None) -> int:
         help="workload scale: 'small' runs in seconds, 'paper' uses the "
         "full scaled-down defaults",
     )
+    parser.add_argument(
+        "--directory", choices=["origin", "sharded"], default=None,
+        help="coherence-directory backend for figure2 (default: the "
+        "paper's origin-resident directory)",
+    )
     args = parser.parse_args(argv)
     todo = (
         ["table1", "table2", "figure3", "pagefault", "figure2", "ablation"]
@@ -52,7 +57,8 @@ def main(argv=None) -> int:
             print(reporting.render_pagefault(experiments.pagefault_micro()))
         elif name == "figure2":
             points = experiments.figure2(
-                apps=args.apps, node_counts=args.nodes, scale=args.scale
+                apps=args.apps, node_counts=args.nodes, scale=args.scale,
+                directory=args.directory,
             )
             print(reporting.render_figure2(points))
         elif name == "ablation":
@@ -67,6 +73,11 @@ def main(argv=None) -> int:
             print(reporting.render_ablation(
                 "Ablation: data-transfer skip for up-to-date copies (§III-B)",
                 experiments.ablation_transfer_skip(),
+            ))
+            print(reporting.render_ablation(
+                "Ablation: coherence-directory placement "
+                "(origin-resident vs sharded home-node)",
+                experiments.ablation_directory(),
             ))
         print()
     return 0

@@ -51,11 +51,14 @@ def figure2(
     node_counts: Sequence[int] = (1, 2, 4, 8),
     variants: Sequence[str] = ("initial", "optimized"),
     scale: str = "small",
+    directory: Optional[str] = None,
 ) -> List[ScalingPoint]:
-    """The full scalability sweep."""
+    """The full scalability sweep, optionally under a non-default
+    coherence-directory backend."""
     points: List[ScalingPoint] = []
     for app in apps:
-        points.extend(run_scaling(app, node_counts, variants, scale))
+        points.extend(run_scaling(app, node_counts, variants, scale,
+                                  directory=directory))
     return points
 
 
@@ -263,4 +266,40 @@ def ablation_transfer_skip(app: str = "KMN", num_nodes: int = 4,
             "transfers_skipped": float(result.stats.transfers_skipped),
             "correct": float(bool(result.correct)),
         }
+    return out
+
+
+def ablation_directory(app: str = "KMN", num_nodes: int = 8,
+                       scale: str = "small") -> Dict[str, Dict[str, float]]:
+    """Coherence-directory placement: the paper's origin-resident
+    directory vs the sharded home-node directory.
+
+    The fault-heavy *initial* variants hammer the directory, so this is
+    where decongesting the origin shows: the sharded backend spreads
+    metadata service (and the page flush/grant data traffic that follows
+    it) across home nodes, lowering the mean fault-handling latency."""
+    out = {}
+    for backend in ("origin", "sharded"):
+        result = run_point(app, "initial", num_nodes, scale,
+                           params=SimParams(directory=backend))
+        assert result.correct, f"{app} wrong under directory={backend}"
+        stats = result.stats
+        records = stats.fault_latencies
+        mean_fault = (
+            sum(r.latency_us for r in records) / len(records) if records else 0.0
+        )
+        requests = stats.directory_requests
+        total_requests = sum(requests.values()) or 1
+        row = {
+            "elapsed_us": result.elapsed_us,
+            "mean_fault_us": mean_fault,
+            "faults": float(stats.total_faults),
+            "retries": float(stats.fault_retries),
+            # share of directory requests the origin node served: 1.0 by
+            # construction for the origin backend, <1 once shards spread
+            "origin_dir_share": requests.get(0, 0) / total_requests,
+        }
+        if stats.hint_hit_rate is not None:
+            row["hint_hit_rate"] = stats.hint_hit_rate
+        out[backend] = row
     return out

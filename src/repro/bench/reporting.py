@@ -56,7 +56,14 @@ def render_figure2(points: List[ScalingPoint]) -> str:
                 for n in node_counts
             )
             ok = all(p.correct for p in series.values())
-            lines.append(f"{app:5s} {variant:10s} {cells}   {ok}")
+            hint_rates = [
+                p.hint_hit_rate for p in series.values()
+                if p.hint_hit_rate is not None
+            ]
+            hints = (
+                f"  hint-hit {100 * max(hint_rates):.0f}%" if hint_rates else ""
+            )
+            lines.append(f"{app:5s} {variant:10s} {cells}   {ok}{hints}")
     summary = figure2_summary(points)
     lines.append("")
     lines.append(
@@ -126,11 +133,16 @@ def render_pagefault(report: FaultReport) -> str:
     )
 
 
+def _fmt_metric(value: float) -> str:
+    # ratios (hit rates, load shares) need decimals; big counts do not
+    return f"{value:.3f}" if -10.0 < value < 10.0 else f"{value:.1f}"
+
+
 def render_ablation(title: str, data: Dict) -> str:
     lines = [title]
     for key, value in data.items():
         if isinstance(value, dict):
-            detail = " ".join(f"{k}={v:.1f}" for k, v in value.items())
+            detail = " ".join(f"{k}={_fmt_metric(v)}" for k, v in value.items())
             lines.append(f"  {key:16s} {detail}")
         else:
             lines.append(f"  {key:16s} {value:12.1f} us")

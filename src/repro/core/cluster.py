@@ -52,8 +52,17 @@ class DexCluster:
     """A rack of nodes connected by the simulated InfiniBand fabric, with
     the DeX kernel extension 'loaded' on every node."""
 
-    def __init__(self, num_nodes: int = 8, params: Optional[SimParams] = None):
+    def __init__(
+        self,
+        num_nodes: int = 8,
+        params: Optional[SimParams] = None,
+        directory: Optional[str] = None,
+    ):
         self.params = params if params is not None else SimParams()
+        if directory is not None:
+            # convenience knob: select the coherence-directory backend
+            # ("origin" | "sharded") without hand-building SimParams
+            self.params = self.params.copy(directory=directory)
         self.engine = Engine()
         self.net = Network(self.engine, num_nodes, self.params)
         self.nodes: List[DexNode] = [
@@ -115,6 +124,7 @@ class DexCluster:
         Messages carry the target pid in their payload."""
         routes = {
             MsgType.PAGE_REQUEST: lambda p: p.protocol.handle_page_request_msg,
+            MsgType.PAGE_HOME_LOOKUP: lambda p: p.protocol.handle_home_lookup_msg,
             MsgType.PAGE_INVALIDATE: lambda p: p.protocol.handle_invalidate_msg,
             MsgType.MIGRATE: lambda p: p.migration.handle_migrate_msg,
             MsgType.MIGRATE_BACK: lambda p: p.migration.handle_migrate_back_msg,

@@ -143,7 +143,8 @@ class FaultHandler:
                 flist.remove(fault)
                 if not flist:
                     del state.inflight[vpn]
-            proc.stats.fault_retries += retries
+            # (retries feed fault_retries via record_fault — counting them
+            # here as well used to double the reported number)
             record = FaultRecord(
                 vpn=vpn,
                 node=node,

@@ -1,87 +1,30 @@
-"""The per-process page-ownership directory kept at the origin (§III-B).
+"""Backward-compatibility shim for the pre-refactor ownership module.
 
-"Each page can be owned by one or more nodes, and the ownership is tracked
-on a per-page and per-node basis at the origin. [...] Information such as
-the list of owners and page state is maintained in a per-process radix tree
-which indexes the information by the virtual page address."
-
-Pages with no directory entry are implicitly owned exclusively by the
-origin ("initially, the origin exclusively owns all pages of the process"),
-so a process that never migrates pays nothing: entries materialize only
-when a page first participates in the protocol.
+The per-process page-ownership directory (§III-B) used to be a single
+origin-resident class here; it is now the pluggable coherence-directory
+layer in :mod:`repro.core.directory`, with the paper's origin-resident
+design living on as :class:`~repro.core.directory.OriginDirectory`.  This
+module re-exports the moved names so older imports keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, Optional, Set, Tuple
+from repro.core.directory import (  # noqa: F401
+    CoherenceDirectory,
+    DirectoryShard,
+    OriginDirectory,
+    PageEntry,
+    ShardedDirectory,
+)
 
-from repro.memory.radix_tree import RadixTree
+#: historical name of the origin-resident backend
+OwnershipDirectory = OriginDirectory
 
-
-@dataclass
-class PageEntry:
-    """Directory state for one virtual page.
-
-    ``data_version`` is the version of the page's current contents; each
-    node's PTE remembers the version it last held so the origin can skip
-    the data transfer on a grant when the requester is already up to date
-    (§III-B's traffic optimization).
-    """
-
-    vpn: int
-    owners: Set[int] = field(default_factory=set)
-    writer: Optional[int] = None
-    data_version: int = 0
-    #: a protocol operation is in flight for this page; concurrent requests
-    #: are told to retry (the race §V-D's contended faults lose)
-    busy: bool = False
-
-    def is_owner(self, node: int) -> bool:
-        return node in self.owners
-
-
-class OwnershipDirectory:
-    """Radix-tree-indexed map of :class:`PageEntry` at the origin."""
-
-    def __init__(self, origin: int):
-        self.origin = origin
-        self._tree = RadixTree()
-
-    def __len__(self) -> int:
-        return len(self._tree)
-
-    def lookup(self, vpn: int) -> Optional[PageEntry]:
-        return self._tree.get(vpn)
-
-    def get_or_create(self, vpn: int) -> Tuple[PageEntry, bool]:
-        """The entry for *vpn*, plus whether it was just materialized (in
-        which case the caller must install the origin's implicit-exclusive
-        PTE state)."""
-        entry = self._tree.get(vpn)
-        if entry is not None:
-            return entry, False
-        entry = PageEntry(vpn=vpn, owners={self.origin}, writer=self.origin)
-        self._tree.insert(vpn, entry)
-        return entry, True
-
-    def drop_range(self, vpn_start: int, vpn_end: int) -> int:
-        """Remove entries for a VMA shrink; returns how many were dropped."""
-        victims = [vpn for vpn, _ in self._tree.iter_range(vpn_start, vpn_end)]
-        for vpn in victims:
-            self._tree.delete(vpn)
-        return len(victims)
-
-    def entries(self) -> Iterator[Tuple[int, PageEntry]]:
-        return self._tree.items()
-
-    def check_invariants(self) -> None:
-        """Raise AssertionError when the multiple-reader/single-writer
-        invariant is broken.  Called by tests after every protocol step."""
-        for vpn, entry in self._tree.items():
-            assert entry.owners, f"page {vpn:#x}: entry with no owners"
-            if entry.writer is not None:
-                assert entry.owners == {entry.writer}, (
-                    f"page {vpn:#x}: writer {entry.writer} coexists with "
-                    f"owners {entry.owners}"
-                )
+__all__ = [
+    "CoherenceDirectory",
+    "DirectoryShard",
+    "OriginDirectory",
+    "OwnershipDirectory",
+    "PageEntry",
+    "ShardedDirectory",
+]

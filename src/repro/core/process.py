@@ -31,6 +31,7 @@ from typing import (
 
 from repro.core.balancer import MigrationHints
 from repro.core.delegation import DelegationService
+from repro.core.directory import DirectoryShard, OwnerHintCache
 from repro.core.errors import DexError
 from repro.core.fault import FaultHandler, InFlightFault
 from repro.core.files import FileService
@@ -65,6 +66,11 @@ class NodeProcessState:
     vma_map: AddressSpaceMap = field(default_factory=AddressSpaceMap)
     #: vpn -> in-flight faults (the §III-C hash table)
     inflight: Dict[int, List[InFlightFault]] = field(default_factory=dict)
+    #: this node's slice of the coherence directory (only the page homes
+    #: selected by the configured backend ever hold entries here)
+    directory_shard: DirectoryShard = field(default_factory=DirectoryShard)
+    #: LRU of last-known page homes (sharded backend's hop-skipping cache)
+    owner_hints: OwnerHintCache = field(default_factory=OwnerHintCache)
 
 
 class DexProcess:
@@ -123,6 +129,9 @@ class DexProcess:
             state.page_table = PageTable()
             state.frames = FrameStore(self.cluster.params.page_size)
             state.vma_map = AddressSpaceMap(self.cluster.params.page_size)
+            state.owner_hints = OwnerHintCache(
+                self.cluster.params.owner_hint_capacity
+            )
             self._node_states[node] = state
         return state
 
@@ -260,7 +269,11 @@ class DexProcess:
         node = msg.dst
         yield self.cluster.engine.timeout(self.cluster.params.vma_op_cost)
         self.nodes_with_worker.discard(node)
-        self._node_states.pop(node, None)
+        state = self._node_states.get(node)
+        if state is not None and len(state.directory_shard) == 0:
+            # a node hosting directory shard entries keeps its state: the
+            # metadata outlives the worker thread that ran there
+            self._node_states.pop(node, None)
 
     # ------------------------------------------------------------------
 

@@ -7,8 +7,8 @@ protocol providing sequential consistency:
   migrates never touches the directory.
 * A **read** fault gets a shared replica: if some node holds the page
   exclusively, that writer is downgraded and its dirty data flushed to the
-  origin first.
-* A **write** fault gets exclusive ownership: the origin revokes ownership
+  page's *home* first.
+* A **write** fault gets exclusive ownership: the home revokes ownership
   from every other owner (including itself) and collects acknowledgements;
   a revoked exclusive owner flushes its dirty page back with the ack.
 * Page data accompanies a grant only when the requester's cached copy is
@@ -18,20 +18,31 @@ protocol providing sequential consistency:
   that catches the page mid-operation is told to **retry** and backs off —
   the slow mode of §V-D's bimodal fault-latency distribution.
 
+Every directory interaction goes through the pluggable
+:class:`~repro.core.directory.CoherenceDirectory` layer.  Under the
+paper's :class:`~repro.core.directory.OriginDirectory` the home of every
+page is the origin and the protocol behaves exactly as §III-B describes;
+under :class:`~repro.core.directory.ShardedDirectory` each page's
+metadata (and its flush target / grant source) lives at a per-page home
+node, requests are home-routed — resolved through the per-node owner-hint
+cache, with a redirect when a hint is stale — and the origin stops being
+a serialization point for the whole address space.
+
 Timing-race note: a grant reply and a subsequent invalidation for the same
-page travel the same in-order RC connection, so the grant is always
-*dispatched* first; the requester marks its in-flight fault ``installing``
-synchronously upon receiving the grant, and the invalidation handler waits
-for installing faults to finish before revoking.  This mirrors the careful
-PTE-update ordering §III-C describes for the real kernel implementation.
+page travel the same in-order RC connection (both originate at the page's
+home), so the grant is always *dispatched* first; the requester marks its
+in-flight fault ``installing`` synchronously upon receiving the grant, and
+the invalidation handler waits for installing faults to finish before
+revoking.  This mirrors the careful PTE-update ordering §III-C describes
+for the real kernel implementation.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator, List, Optional, Tuple
 
+from repro.core.directory import PageEntry, make_directory
 from repro.core.errors import ProtocolError
-from repro.core.ownership import OwnershipDirectory, PageEntry
 from repro.memory.page_table import PageState
 from repro.net.messages import Message, MsgType
 
@@ -42,15 +53,16 @@ if TYPE_CHECKING:  # pragma: no cover
 #: grant outcomes, shipped in reply payloads
 _RETRY = "retry"
 _GRANT = "grant"
+_REDIRECT = "redirect"
 
 
 class ConsistencyProtocol:
-    """One instance per distributed process; the directory lives at the
-    process's origin node."""
+    """One instance per distributed process; directory placement is
+    delegated to the configured :class:`CoherenceDirectory` backend."""
 
     def __init__(self, proc: "DexProcess"):
         self.proc = proc
-        self.directory = OwnershipDirectory(proc.origin)
+        self.directory = make_directory(proc)
 
     # ------------------------------------------------------------------
     # requester side (runs at the faulting node, called by the leader)
@@ -74,16 +86,18 @@ class ConsistencyProtocol:
                 # node won an exclusive grant that covers us); requesting
                 # again could downgrade our own node's ownership
                 return retries
-            if node == proc.origin:
+            local = self.directory.hosts(node, vpn)
+            if local:
                 outcome = yield from self.handle_request(
                     node, vpn, write, pte.data_version
                 )
             else:
+                target = yield from self._resolve_home(node, vpn)
                 reply = yield from proc.cluster.net.request(
                     Message(
                         MsgType.PAGE_REQUEST,
                         src=node,
-                        dst=proc.origin,
+                        dst=target,
                         payload={
                             "pid": proc.pid,
                             "vpn": vpn,
@@ -92,6 +106,13 @@ class ConsistencyProtocol:
                         },
                     )
                 )
+                if reply.payload["outcome"] == _REDIRECT:
+                    # stale owner hint: the node we asked no longer hosts
+                    # this page's shard — drop the hint and re-resolve
+                    proc.stats.hint_stale += 1
+                    proc.node_state(node).owner_hints.invalidate(vpn)
+                    continue
+                self._note_home(node, vpn, target)
                 outcome = (
                     reply.payload["outcome"],
                     reply.payload.get("state"),
@@ -101,12 +122,13 @@ class ConsistencyProtocol:
             status, state_name, version, data = outcome
             if status == _RETRY:
                 retries += 1
+                proc.stats.record_busy_retry(vpn)
                 yield engine.timeout(params.fault_retry_backoff)
                 continue
             # mark installing *synchronously* with the grant arrival so a
             # following invalidation (FIFO-ordered behind the grant) waits
             fault.installing = True
-            if node != proc.origin:
+            if not local:
                 frames = proc.node_state(node).frames
                 if data is not None:
                     if vpn not in frames:
@@ -120,16 +142,72 @@ class ConsistencyProtocol:
             pte.data_version = version
             return retries
 
+    def _resolve_home(self, node: int, vpn: int) -> Generator:
+        """Which node should *node* send its ownership request to?
+
+        Origin backend: every node knows the directory lives at the
+        origin.  Sharded backend: the origin owns the shard map; any other
+        node consults its owner-hint LRU and, on a miss, resolves the home
+        through the origin (the hop that repeat faults skip)."""
+        proc = self.proc
+        if self.directory.backend != "sharded" or node == proc.origin:
+            return self.directory.home(vpn)
+        hints = proc.node_state(node).owner_hints
+        hinted = hints.get(vpn)
+        if hinted is not None and hinted != node:
+            proc.stats.hint_hits += 1
+            return hinted
+        proc.stats.hint_misses += 1
+        proc.stats.home_lookups += 1
+        reply = yield from proc.cluster.net.request(
+            Message(
+                MsgType.PAGE_HOME_LOOKUP,
+                src=node,
+                dst=proc.origin,
+                payload={"pid": proc.pid, "vpn": vpn},
+            )
+        )
+        home = reply.payload["home"]
+        hints.insert(vpn, home)
+        return home
+
+    def _note_home(self, node: int, vpn: int, home: int) -> None:
+        """Refresh *node*'s owner hint after *home* answered for *vpn*."""
+        if self.directory.backend == "sharded" and node != self.proc.origin:
+            self.proc.node_state(node).owner_hints.insert(vpn, home)
+
     # ------------------------------------------------------------------
-    # origin directory side
+    # home directory side
     # ------------------------------------------------------------------
 
+    def handle_home_lookup_msg(self, msg: Message) -> Generator:
+        """Origin message handler for :data:`MsgType.PAGE_HOME_LOOKUP`:
+        resolve a page to its home shard node from the origin-owned map."""
+        proc = self.proc
+        yield proc.cluster.engine.timeout(proc.cluster.params.home_lookup_cost)
+        yield from proc.cluster.net.send(
+            msg.make_reply(
+                MsgType.PAGE_HOME_INFO,
+                {"home": self.directory.home(msg.payload["vpn"])},
+            )
+        )
+
     def handle_page_request_msg(self, msg: Message) -> Generator:
-        """Origin message handler for :data:`MsgType.PAGE_REQUEST`."""
+        """Home-node message handler for :data:`MsgType.PAGE_REQUEST`."""
         payload = msg.payload
+        vpn = payload["vpn"]
+        if not self.directory.hosts(msg.dst, vpn):
+            # mis-routed request (stale owner hint after a shard remap):
+            # this node does not host the page's entry, so it cannot
+            # serialize the operation — bounce the requester back to the
+            # resolution path instead of guessing
+            yield from self.proc.cluster.net.send(
+                msg.make_reply(MsgType.PAGE_REDIRECT, {"outcome": _REDIRECT})
+            )
+            return
         yield from self.handle_request(
             msg.src,
-            payload["vpn"],
+            vpn,
             payload["write"],
             payload["known_version"],
             reply_to=msg,
@@ -143,11 +221,11 @@ class ConsistencyProtocol:
         known_version: int,
         reply_to: Optional[Message] = None,
     ) -> Generator:
-        """Resolve one ownership request at the origin.
+        """Resolve one ownership request at the page's home.
 
         Returns ``(status, state_name, version, data)`` where *data* is the
         page bytes to install (None when the transfer is skipped or the
-        requester is the origin itself).
+        requester is the home itself).
 
         When *reply_to* is given (a remote request), the reply is posted
         **before** the per-page busy flag clears: a later operation for the
@@ -158,6 +236,9 @@ class ConsistencyProtocol:
         engine = proc.cluster.engine
         params = proc.cluster.params
         origin = proc.origin
+        home = self.directory.home(vpn)
+        proc.stats.record_directory_request(home)
+        self.directory.shard(home).requests_served += 1
         entry, created = self.directory.get_or_create(vpn)
         if created:
             # materialize the origin's implicit exclusive ownership
@@ -168,6 +249,7 @@ class ConsistencyProtocol:
         if entry.busy:
             # early-out: trylock on the per-page protocol state failed —
             # the requester lost the race and must back off and retry
+            entry.busy_retries += 1
             result = (_RETRY, None, 0, None)
             if reply_to is not None:
                 yield from proc.cluster.net.send(
@@ -205,8 +287,7 @@ class ConsistencyProtocol:
     def _grant_exclusive(
         self, entry: PageEntry, requester: int, known_version: int
     ) -> Generator:
-        proc = self.proc
-        origin = proc.origin
+        home = self.directory.home(entry.vpn)
         if entry.writer == requester:
             # the current writer re-requesting (a request that was already
             # in flight when its earlier grant landed): reaffirm — it holds
@@ -220,17 +301,15 @@ class ConsistencyProtocol:
         entry.data_version = new_version
         entry.owners = {requester}
         entry.writer = requester
-        if requester == origin:
+        if requester == home:
             # local "install": the PTE update is done by acquire_page; the
-            # frame is already current at the origin after the revocations
+            # frame is already current at the home after the revocations
             pass
         return (_GRANT, PageState.EXCLUSIVE.value, new_version, data)
 
     def _grant_shared(
         self, entry: PageEntry, requester: int, known_version: int
     ) -> Generator:
-        proc = self.proc
-        origin = proc.origin
         if entry.writer == requester:
             # the exclusive writer re-requesting read access (a stale
             # retry): its mapping already covers reads — reaffirm it;
@@ -250,64 +329,65 @@ class ConsistencyProtocol:
         """Page bytes to attach to a grant, or None when the transfer is
         skipped.  The transfer is always skippable when the requester holds
         the current version; when it does not, the revocation step has left
-        current data at the origin."""
+        current data at the home."""
         proc = self.proc
-        if requester == proc.origin:
+        home = self.directory.home(entry.vpn)
+        if requester == home:
             return None  # local grant: no wire transfer
         current = entry.data_version
         if known_version == current:
             # requester is up to date; even with the skip optimization
-            # disabled, a transfer is only possible if the origin copy is
+            # disabled, a transfer is only possible if the home copy is
             # current (it may not be when the requester is the sole holder)
-            if proc.cluster.params.enable_transfer_skip or not self._origin_current(
-                entry.vpn, current
+            if proc.cluster.params.enable_transfer_skip or not self._home_current(
+                home, entry.vpn, current
             ):
                 proc.stats.transfers_skipped += 1
                 return None
-        data = self._origin_page_bytes(entry.vpn, current)
+        data = self._home_page_bytes(home, entry.vpn, current)
         proc.stats.pages_transferred += 1
         return data
 
-    def _origin_current(self, vpn: int, version: int) -> bool:
-        pte = self.proc.node_state(self.proc.origin).page_table.lookup(vpn)
+    def _home_current(self, home: int, vpn: int, version: int) -> bool:
+        pte = self.proc.node_state(home).page_table.lookup(vpn)
         return pte is not None and pte.data_version == version
 
-    def _origin_page_bytes(self, vpn: int, version: int) -> bytes:
+    def _home_page_bytes(self, home: int, vpn: int, version: int) -> bytes:
         """The current page contents, which the revocation step always
-        leaves at the origin."""
+        leaves at the page's home."""
         proc = self.proc
-        origin_pte = proc.node_state(proc.origin).page_table.lookup(vpn)
-        if origin_pte is None or origin_pte.data_version != version:
+        home_pte = proc.node_state(home).page_table.lookup(vpn)
+        if home_pte is None or home_pte.data_version != version:
             raise ProtocolError(
-                f"origin copy of page {vpn:#x} is stale "
-                f"(have {origin_pte and origin_pte.data_version}, need {version})"
+                f"home copy of page {vpn:#x} is stale "
+                f"(have {home_pte and home_pte.data_version}, need {version})"
             )
-        return bytes(proc.node_state(proc.origin).frames.frame(vpn))
+        return bytes(proc.node_state(home).frames.frame(vpn))
 
     def _revoke(
         self, entry: PageEntry, losers: List[int], downgrade: bool
     ) -> Generator:
         """Revoke (or downgrade) ownership from *losers*, collecting acks.
         An exclusive loser flushes its dirty page, which is installed in
-        the origin's frame; the origin then always holds current data."""
+        the home's frame; the home then always holds current data."""
         proc = self.proc
         engine = proc.cluster.engine
         params = proc.cluster.params
-        origin = proc.origin
         vpn = entry.vpn
-        remote_losers = [n for n in losers if n != origin]
-        if origin in losers:
+        home = self.directory.home(vpn)
+        remote_losers = [n for n in losers if n != home]
+        if home in losers:
             yield engine.timeout(params.invalidation_handler_cost)
-            origin_pte = proc.node_state(origin).page_table.ensure(vpn)
-            # the origin never discards its frame: it is the flush target
-            origin_pte.state = PageState.SHARED if downgrade else PageState.INVALID
+            home_pte = proc.node_state(home).page_table.ensure(vpn)
+            # the home never discards its frame: it is the flush target
+            home_pte.state = PageState.SHARED if downgrade else PageState.INVALID
         if remote_losers:
             proc.stats.invalidations_sent += len(remote_losers)
             pending = []
             for node in remote_losers:
                 msg = Message(
                     MsgType.PAGE_INVALIDATE,
-                    src=origin,
+                    src=home,
                     dst=node,
                     payload={"pid": proc.pid, "vpn": vpn, "downgrade": downgrade},
                 )
@@ -325,13 +405,13 @@ class ConsistencyProtocol:
                 )
             for ack in flushes:
                 proc.stats.pages_transferred += 1  # dirty flush on the wire
-                proc.node_state(origin).frames.install(vpn, ack.page_data)
-                origin_pte = proc.node_state(origin).page_table.ensure(vpn)
-                origin_pte.data_version = entry.data_version
+                proc.node_state(home).frames.install(vpn, ack.page_data)
+                home_pte = proc.node_state(home).page_table.ensure(vpn)
+                home_pte.data_version = entry.data_version
                 if downgrade:
-                    # the origin now also holds a valid reader copy
-                    origin_pte.state = PageState.SHARED
-                    entry.owners.add(origin)
+                    # the home now also holds a valid reader copy
+                    home_pte.state = PageState.SHARED
+                    entry.owners.add(home)
         if downgrade:
             # downgraded losers stay owners (readers); nothing to remove
             return
@@ -342,28 +422,31 @@ class ConsistencyProtocol:
         """Pull every page in ``[vpn_start, vpn_end)`` back to exclusive
         origin ownership, flushing dirty remote copies.  Used by protection
         downgrades (mprotect), where remote write ability must be revoked
-        through the protocol so directory and PTEs stay consistent."""
+        through the protocol so directory and PTEs stay consistent.
+
+        Each page is re-acquired through the normal request path, so under
+        the sharded backend the revocations run at (and the flushed data
+        lands at, then transfers back from) each page's home."""
+        from repro.core.fault import InFlightFault
+
         proc = self.proc
+        engine = proc.cluster.engine
         origin = proc.origin
-        entries = [
-            entry
-            for _vpn, entry in self.directory.entries()
-            if vpn_start <= entry.vpn < vpn_end
-        ]
-        for entry in entries:
-            entry.busy = True
+        page_table = proc.node_state(origin).page_table
+        for vpn, _entry in self.directory.entries_in_range(vpn_start, vpn_end):
+            pte = page_table.lookup(vpn)
+            if pte is not None and pte.writable:
+                continue  # already exclusive at the origin
+            fault = InFlightFault(
+                vpn=vpn,
+                write=True,
+                leader_tid=-1,
+                done=engine.event(name=f"revoke@{vpn:#x}"),
+            )
             try:
-                losers = sorted(entry.owners - {origin})
-                yield from self._revoke(entry, losers, downgrade=False)
-                entry.owners = {origin}
-                entry.writer = origin
-                # keep data_version: recreating from zero could collide
-                # with stale remote copies and wrongly skip transfers
-                proc.node_state(origin).page_table.set_state(
-                    entry.vpn, PageState.EXCLUSIVE, data_version=entry.data_version
-                )
+                yield from self.acquire_page(origin, vpn, True, fault)
             finally:
-                entry.busy = False
+                fault.done.succeed()
 
     # ------------------------------------------------------------------
     # owner side: servicing revocations

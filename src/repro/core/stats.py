@@ -2,13 +2,15 @@
 
 Everything the evaluation section reports is derived from these:
 per-fault latencies (the bimodal distribution of §V-D), migration breakdowns
-(Table II / Figure 3), protocol message counts, and transfer-skip hits.
+(Table II / Figure 3), protocol message counts, transfer-skip hits, and the
+coherence-directory layer's routing counters (home-lookup traffic and the
+owner-hint cache hit rate under the sharded backend).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 
 @dataclass
@@ -60,6 +62,18 @@ class DexStats:
     delegations: int = 0
     futex_waits: int = 0
     futex_wakes: int = 0
+    #: owner-hint cache (sharded directory): home resolutions answered
+    #: locally vs through the origin, plus hints caught stale by a redirect
+    hint_hits: int = 0
+    hint_misses: int = 0
+    hint_stale: int = 0
+    home_lookups: int = 0
+    #: ownership requests served per directory-hosting node (who carries
+    #: the metadata load — all-origin under the origin backend)
+    directory_requests: Dict[int, int] = field(default_factory=dict)
+    #: busy-retries per page (how often each page made a requester back
+    #: off), feeding the contended_pages top-N of latency_summary()
+    busy_retries_by_page: Dict[int, int] = field(default_factory=dict)
     migrations: List[MigrationRecord] = field(default_factory=list)
     fault_latencies: List[FaultRecord] = field(default_factory=list)
     #: cap on retained latency samples; counters keep counting past it
@@ -68,6 +82,15 @@ class DexStats:
     @property
     def total_faults(self) -> int:
         return self.faults_read + self.faults_write
+
+    @property
+    def hint_hit_rate(self) -> Optional[float]:
+        """Owner-hint cache hit rate, or None when no resolution ever ran
+        (single node, or the origin backend)."""
+        total = self.hint_hits + self.hint_misses
+        if total == 0:
+            return None
+        return self.hint_hits / total
 
     def record_fault(self, record: FaultRecord) -> None:
         if record.write:
@@ -80,16 +103,34 @@ class DexStats:
         if len(self.fault_latencies) < self.max_latency_samples:
             self.fault_latencies.append(record)
 
-    def latency_summary(self) -> Dict[str, float]:
+    def record_busy_retry(self, vpn: int) -> None:
+        self.busy_retries_by_page[vpn] = self.busy_retries_by_page.get(vpn, 0) + 1
+
+    def record_directory_request(self, home: int) -> None:
+        self.directory_requests[home] = self.directory_requests.get(home, 0) + 1
+
+    def contended_pages(self, top_n: int = 5) -> List[Tuple[int, int]]:
+        """The *top_n* pages by busy-retry count, worst first — which pages
+        the §V-D contended mode is attributable to."""
+        ranked = sorted(
+            self.busy_retries_by_page.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return ranked[:top_n]
+
+    def latency_summary(self, top_n: int = 5) -> Dict[str, object]:
         """Mean fault latency split by contended (retried) vs fast-path —
-        the two modes of the §V-D distribution."""
+        the two modes of the §V-D distribution — plus the pages that caused
+        the contention."""
         fast = [r.latency_us for r in self.fault_latencies if r.retries == 0 and not r.coalesced]
         slow = [r.latency_us for r in self.fault_latencies if r.retries > 0]
-        out: Dict[str, float] = {}
+        out: Dict[str, object] = {}
         if fast:
             out["fast_path_mean_us"] = sum(fast) / len(fast)
             out["fast_path_count"] = float(len(fast))
         if slow:
             out["contended_mean_us"] = sum(slow) / len(slow)
             out["contended_count"] = float(len(slow))
+        contended = self.contended_pages(top_n)
+        if contended:
+            out["contended_pages"] = contended
         return out

@@ -146,8 +146,10 @@ class VmaSync:
         else:
             # protection downgrade: update the replica's view only; the
             # origin separately revokes page ownership in the range via the
-            # consistency protocol (ConsistencyProtocol.revoke_range), so
-            # the next write here faults and the VMA check rejects it
+            # consistency protocol (ConsistencyProtocol.revoke_range,
+            # resolved at each page's home under the configured directory
+            # backend), so the next write here faults and the VMA check
+            # rejects it
             covering = state.vma_map.find_overlapping(start, end)
             if covering:
                 state.vma_map.mprotect(

@@ -27,14 +27,20 @@ class MsgType(enum.Enum):
     DELEGATE = "delegate"                  # remote thread -> its origin pair
     DELEGATE_REPLY = "delegate_reply"
 
-    # memory consistency protocol (§III-B, §III-C)
-    PAGE_REQUEST = "page_request"          # remote -> origin: read or write
-    PAGE_GRANT = "page_grant"              # origin -> remote: ownership (+data)
-    PAGE_RETRY = "page_retry"              # origin -> remote: lost the race
-    PAGE_INVALIDATE = "page_invalidate"    # origin -> owner: revoke ownership
+    # memory consistency protocol (§III-B, §III-C); requests are routed to
+    # the page's *home* (the origin under the origin directory backend)
+    PAGE_REQUEST = "page_request"          # remote -> home: read or write
+    PAGE_GRANT = "page_grant"              # home -> remote: ownership (+data)
+    PAGE_RETRY = "page_retry"              # home -> remote: lost the race
+    PAGE_INVALIDATE = "page_invalidate"    # home -> owner: revoke ownership
     PAGE_INVALIDATE_ACK = "page_invalidate_ack"
-    PAGE_FETCH = "page_fetch"              # origin -> exclusive owner: send data
+    PAGE_FETCH = "page_fetch"              # home -> exclusive owner: send data
     PAGE_FETCH_REPLY = "page_fetch_reply"
+
+    # home-routed directory layer (sharded backend)
+    PAGE_HOME_LOOKUP = "page_home_lookup"  # remote -> origin: resolve vpn's home
+    PAGE_HOME_INFO = "page_home_info"      # origin -> remote: the home node
+    PAGE_REDIRECT = "page_redirect"        # non-home -> remote: stale hint, re-resolve
 
     # on-demand VMA synchronization (§III-D)
     VMA_QUERY = "vma_query"
@@ -64,6 +70,9 @@ CONTROL_SIZES: Dict[MsgType, int] = {
     MsgType.PAGE_INVALIDATE_ACK: 24,
     MsgType.PAGE_FETCH: 32,
     MsgType.PAGE_FETCH_REPLY: 32,
+    MsgType.PAGE_HOME_LOOKUP: 24,
+    MsgType.PAGE_HOME_INFO: 24,
+    MsgType.PAGE_REDIRECT: 24,
     MsgType.VMA_QUERY: 32,
     MsgType.VMA_REPLY: 64,
     MsgType.VMA_SHRINK: 48,

@@ -120,6 +120,20 @@ class SimParams:
     #: VMA lookup / update at either side of on-demand VMA sync
     vma_op_cost: float = 0.7
 
+    # ---- coherence-directory layer (see repro.core.directory) -----------
+    #: metadata placement backend: "origin" (the paper's §III-B design,
+    #: every page's home is the origin) or "sharded" (home-node directory,
+    #: VPNs hash across per-node shards)
+    directory: str = "origin"
+    #: number of shards for the sharded backend; None = smallest prime
+    #: above the node count (a power-of-two count resonates with the
+    #: power-of-two-aligned segment bases and pins hot pages to node 0)
+    directory_shards: Optional[int] = None
+    #: capacity of each node's owner-hint LRU (vpn -> last-known home)
+    owner_hint_capacity: int = 1024
+    #: origin-side shard-map lookup answering a PAGE_HOME_LOOKUP
+    home_lookup_cost: float = 1.2
+
     # ---- feature switches (for ablations) ---------------------------------
     #: leader-follower coalescing of concurrent same-page faults (§III-C)
     enable_fault_coalescing: bool = True

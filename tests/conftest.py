@@ -1,16 +1,29 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Setting ``DEX_TEST_DIRECTORY=sharded`` in the environment runs every test
+built through :func:`make_cluster` under the sharded coherence-directory
+backend (the CI matrix exercises both), and an autouse fixture checks the
+protocol invariants of every process at test teardown for whichever
+backend ran.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro import DexCluster, SimParams
 from repro.runtime import MemoryAllocator
 
+#: directory backend under test; "origin" unless the environment says so
+TEST_DIRECTORY = os.environ.get("DEX_TEST_DIRECTORY", "origin")
+
 
 def make_cluster(num_nodes: int = 4, **param_overrides) -> DexCluster:
     """A cluster with optional SimParams field overrides."""
-    params = SimParams(**param_overrides) if param_overrides else SimParams()
+    param_overrides.setdefault("directory", TEST_DIRECTORY)
+    params = SimParams(**param_overrides)
     return DexCluster(num_nodes=num_nodes, params=params)
 
 
@@ -19,6 +32,31 @@ def run_main(cluster: DexCluster, main, *args):
     proc = cluster.create_process()
     result = cluster.simulate(main, proc, *args)
     return result, proc
+
+
+@pytest.fixture(autouse=True)
+def check_protocol_invariants(monkeypatch):
+    """Validate directory/PTE consistency for every cluster a test built.
+
+    Every :class:`DexCluster` constructed during the test is recorded; at
+    teardown, each of its processes gets a
+    :meth:`ConsistencyProtocol.check_invariants` pass — but only when the
+    cluster is quiescent (no pending events), since mid-operation state is
+    legitimately inconsistent in tests that stop the engine early."""
+    clusters = []
+    original_init = DexCluster.__init__
+
+    def recording_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        clusters.append(self)
+
+    monkeypatch.setattr(DexCluster, "__init__", recording_init)
+    yield
+    for cluster in clusters:
+        if cluster.engine._queue:
+            continue
+        for process in cluster.processes.values():
+            process.protocol.check_invariants()
 
 
 @pytest.fixture

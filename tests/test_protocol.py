@@ -48,7 +48,11 @@ def test_remote_read_sees_origin_data():
     data, proc = run(cluster, main)
     assert data == b"hello world"
     assert proc.stats.faults_read == 1
-    assert proc.stats.pages_transferred == 1
+    # wire transfers depend on where the page's metadata lives: with the
+    # home at the origin (flush is local) or at the requester (grant is
+    # local) the data crosses the wire once; a third-party home relays it
+    home = proc.protocol.directory.home(GLOBALS // cluster.params.page_size)
+    assert proc.stats.pages_transferred == (1 if home in (0, 2) else 2)
 
 
 def test_remote_write_flows_back_to_origin():
@@ -148,14 +152,25 @@ def test_transfer_skip_on_upgrade():
 
     value, proc = run(cluster, main)
     assert value == 42
-    assert proc.stats.transfers_skipped >= 1
-    assert proc.stats.pages_transferred == 1
+    home = proc.protocol.directory.home(GLOBALS // cluster.params.page_size)
+    if home == 1:
+        # the requester hosts the page's entry, so grants are local: there
+        # is no wire transfer for the skip optimization to save
+        assert proc.stats.transfers_skipped == 0
+        assert proc.stats.pages_transferred == 1  # the origin's flush
+    else:
+        assert proc.stats.transfers_skipped >= 1
+        assert proc.stats.pages_transferred == (1 if home == 0 else 2)
     proc.protocol.check_invariants()
 
 
 def test_transfer_skip_ablation_forces_transfers():
     def run_mode(enable_skip):
-        cluster = make_cluster(enable_transfer_skip=enable_skip)
+        # pinned to the origin backend: the ablation compares wire-transfer
+        # counts for remote grants, which requires the requester not to be
+        # the page's home
+        cluster = make_cluster(enable_transfer_skip=enable_skip,
+                               directory="origin")
 
         def main(ctx):
             yield from ctx.write_i64(GLOBALS, 1)
