@@ -1,0 +1,57 @@
+"""CLI entry point: ``python -m repro.check --lint [paths...]``.
+
+With no paths, lints the installed ``repro`` package (repo mode, with
+the offline-tooling exemptions).  With explicit paths, lints exactly
+those files/directories with no exemptions — which is what the lint
+fixtures in the test suite use.  Exits nonzero when any rule fires.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.check.lint import RULES, lint_paths, lint_repo
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="DexCheck: repo-specific static lint pass "
+                    "(the dynamic sanitizers are enabled at runtime via "
+                    "DEX_SANITIZE=1)",
+    )
+    parser.add_argument(
+        "--lint", action="store_true",
+        help="run the static lint rules (the default action)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule names",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(rule)
+        return 0
+
+    if args.paths:
+        violations = lint_paths(args.paths)
+    else:
+        violations = lint_repo()
+    for violation in violations:
+        print(violation.format())
+    if violations:
+        print(f"{len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

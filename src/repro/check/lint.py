@@ -1,0 +1,318 @@
+"""The repo-specific static lint pass (``python -m repro.check --lint``).
+
+Four AST-based rules, each encoding an invariant of this codebase that a
+generic linter cannot know:
+
+* ``unhandled-message-type`` — every ``MsgType`` enum member must be
+  wired to a handler somewhere in the scanned files: registered on a
+  router (``router.register(MsgType.X, ...)``), used as a key in a
+  routes dict, or produced as a reply (``msg.make_reply(MsgType.X,
+  ...)``).  An orphan member is dead protocol surface — either wire it
+  or delete it.
+* ``directory-encapsulation`` — only ``core/directory.py`` may touch the
+  directory's storage internals (``.directory_shard``, ``.shard_map``,
+  ``._lru``); everything else must go through the
+  :class:`~repro.core.directory.CoherenceDirectory` interface, or the
+  backends stop being pluggable.
+* ``sim-nondeterminism`` — no wall-clock or OS-entropy calls and no
+  ``random`` module inside simulation code: the engine's determinism
+  (bit-identical runs for a seed) is a load-bearing property.  Seeded
+  ``numpy.random`` generators (``default_rng(seed)``) are allowed;
+  argument-less ones are not.
+* ``yield-discipline`` — generator processes may only yield waitables
+  (events/timeouts/processes); a bare ``yield`` or a constant yield is
+  a latent ``SimulationError`` the engine will throw at runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+RULES = (
+    "unhandled-message-type",
+    "directory-encapsulation",
+    "sim-nondeterminism",
+    "yield-discipline",
+)
+
+#: attribute names that are directory storage internals
+_DIRECTORY_INTERNALS = frozenset({"directory_shard", "shard_map", "_lru"})
+#: the one module allowed to touch them
+_DIRECTORY_MODULE = "directory.py"
+
+#: fully dotted call suffixes that read wall clocks or OS entropy
+_WALL_CLOCK_CALLS = frozenset({
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("os", "urandom"),
+    ("uuid", "uuid4"),
+})
+
+#: numpy.random constructors that are deterministic when given a seed
+_SEEDED_RNG_CTORS = frozenset({"default_rng", "RandomState", "SeedSequence",
+                               "Generator", "PCG64", "Philox"})
+
+#: modules exempt from the nondeterminism rule when linting the repo:
+#: offline tooling that never runs inside a simulation
+_NONDETERMINISM_EXEMPT_PARTS = ("bench", "tools", "check")
+
+
+@dataclass
+class LintViolation:
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+def _dotted_name(node: ast.AST) -> Tuple[str, ...]:
+    """The attribute chain of *node* as a name tuple, e.g.
+    ``np.random.default_rng`` -> ``("np", "random", "default_rng")``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def _msgtype_member(node: ast.AST) -> Optional[str]:
+    """The member name when *node* is a ``MsgType.X`` reference."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "MsgType"
+    ):
+        return node.attr
+    return None
+
+
+class _ModuleScan:
+    """Everything one parsed module contributes to the lint rules."""
+
+    def __init__(self, path: Path, tree: ast.Module):
+        self.path = path
+        self.tree = tree
+        #: MsgType members defined here: name -> line
+        self.msgtype_members: Dict[str, int] = {}
+        self.defines_msgtype = False
+        #: members referenced in handler positions
+        self.handled_members: Set[str] = set()
+        #: members used as dict-literal keys (only counts as handling
+        #: outside the defining module, to ignore size/metadata tables)
+        self.dict_key_members: Set[str] = set()
+        self._collect()
+
+    def _collect(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ClassDef) and node.name == "MsgType":
+                self.defines_msgtype = True
+                for stmt in node.body:
+                    if isinstance(stmt, ast.Assign):
+                        for target in stmt.targets:
+                            if isinstance(target, ast.Name):
+                                self.msgtype_members[target.id] = stmt.lineno
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in ("register", "make_reply")
+                    and node.args
+                ):
+                    member = _msgtype_member(node.args[0])
+                    if member is not None:
+                        self.handled_members.add(member)
+            elif isinstance(node, ast.Dict):
+                for key in node.keys:
+                    member = _msgtype_member(key) if key is not None else None
+                    if member is not None:
+                        self.dict_key_members.add(member)
+
+
+def _check_unhandled_message_types(
+    scans: List[_ModuleScan],
+) -> List[LintViolation]:
+    violations: List[LintViolation] = []
+    handled: Set[str] = set()
+    for scan in scans:
+        handled |= scan.handled_members
+        if not scan.defines_msgtype:
+            # dict keys in the defining module are metadata tables
+            # (CONTROL_SIZES), not dispatch wiring
+            handled |= scan.dict_key_members
+    for scan in scans:
+        for member, line in sorted(scan.msgtype_members.items(),
+                                   key=lambda kv: kv[1]):
+            if member not in handled:
+                violations.append(LintViolation(
+                    rule="unhandled-message-type",
+                    path=str(scan.path),
+                    line=line,
+                    message=(
+                        f"MsgType.{member} has no registered handler, "
+                        f"routes-dict entry, or make_reply producer — "
+                        f"dead protocol surface"
+                    ),
+                ))
+    return violations
+
+
+def _check_directory_encapsulation(scan: _ModuleScan) -> List[LintViolation]:
+    if scan.path.name == _DIRECTORY_MODULE:
+        return []
+    violations = []
+    for node in ast.walk(scan.tree):
+        if isinstance(node, ast.Attribute) and node.attr in _DIRECTORY_INTERNALS:
+            violations.append(LintViolation(
+                rule="directory-encapsulation",
+                path=str(scan.path),
+                line=node.lineno,
+                message=(
+                    f"access to directory internal '.{node.attr}' outside "
+                    f"core/directory.py; go through the CoherenceDirectory "
+                    f"interface"
+                ),
+            ))
+    return violations
+
+
+def _check_sim_nondeterminism(scan: _ModuleScan) -> List[LintViolation]:
+    violations = []
+    for node in ast.walk(scan.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    violations.append(LintViolation(
+                        rule="sim-nondeterminism",
+                        path=str(scan.path), line=node.lineno,
+                        message="import of the unseeded 'random' module "
+                                "inside sim code",
+                    ))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                violations.append(LintViolation(
+                    rule="sim-nondeterminism",
+                    path=str(scan.path), line=node.lineno,
+                    message="import from the unseeded 'random' module "
+                            "inside sim code",
+                ))
+        elif isinstance(node, ast.Call):
+            dotted = _dotted_name(node.func)
+            if len(dotted) < 2:
+                continue
+            suffix = dotted[-2:]
+            if suffix in _WALL_CLOCK_CALLS:
+                violations.append(LintViolation(
+                    rule="sim-nondeterminism",
+                    path=str(scan.path), line=node.lineno,
+                    message=f"wall-clock/entropy call "
+                            f"'{'.'.join(dotted)}()' inside sim code; use "
+                            f"engine time",
+                ))
+            elif "random" in dotted[:-1]:
+                # something.random.<fn>(...): numpy-style RNG access
+                fn = dotted[-1]
+                if fn not in _SEEDED_RNG_CTORS:
+                    violations.append(LintViolation(
+                        rule="sim-nondeterminism",
+                        path=str(scan.path), line=node.lineno,
+                        message=f"'{'.'.join(dotted)}()' draws from global "
+                                f"RNG state; use a seeded default_rng",
+                    ))
+                elif not node.args and not node.keywords:
+                    violations.append(LintViolation(
+                        rule="sim-nondeterminism",
+                        path=str(scan.path), line=node.lineno,
+                        message=f"'{'.'.join(dotted)}()' without a seed is "
+                                f"nondeterministic",
+                    ))
+            elif dotted[0] == "random":
+                violations.append(LintViolation(
+                    rule="sim-nondeterminism",
+                    path=str(scan.path), line=node.lineno,
+                    message=f"'{'.'.join(dotted)}()' uses the unseeded "
+                            f"'random' module inside sim code",
+                ))
+    return violations
+
+
+def _check_yield_discipline(scan: _ModuleScan) -> List[LintViolation]:
+    violations = []
+    for node in ast.walk(scan.tree):
+        if isinstance(node, ast.Yield):
+            value = node.value
+            if value is None or isinstance(value, ast.Constant):
+                shown = "bare yield" if value is None else \
+                    f"yield {value.value!r}"
+                violations.append(LintViolation(
+                    rule="yield-discipline",
+                    path=str(scan.path), line=node.lineno,
+                    message=f"{shown}: generator processes may only yield "
+                            f"waitables (Event/Timeout/Process)",
+                ))
+    return violations
+
+
+def _nondeterminism_exempt(path: Path) -> bool:
+    return any(part in _NONDETERMINISM_EXEMPT_PARTS for part in path.parts)
+
+
+def lint_paths(paths: Sequence[Path], repo_mode: bool = False) -> List[LintViolation]:
+    """Run every rule over *paths* (files or directories).
+
+    *repo_mode* applies the repo's own exemptions: offline tooling
+    (``bench``, ``tools``, ``check`` packages) is excused from the
+    nondeterminism rule, since it never runs inside a simulation."""
+    scans: List[_ModuleScan] = []
+    violations: List[LintViolation] = []
+    for path in _iter_python_files(paths):
+        try:
+            tree = ast.parse(path.read_text(), filename=str(path))
+        except SyntaxError as err:
+            violations.append(LintViolation(
+                rule="parse-error", path=str(path),
+                line=err.lineno or 0, message=str(err.msg),
+            ))
+            continue
+        scans.append(_ModuleScan(path, tree))
+    violations.extend(_check_unhandled_message_types(scans))
+    for scan in scans:
+        violations.extend(_check_directory_encapsulation(scan))
+        if not (repo_mode and _nondeterminism_exempt(scan.path)):
+            violations.extend(_check_sim_nondeterminism(scan))
+        violations.extend(_check_yield_discipline(scan))
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations
+
+
+def lint_repo(root: Optional[Path] = None) -> List[LintViolation]:
+    """Lint the installed ``repro`` package sources."""
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+    return lint_paths([root], repo_mode=True)

@@ -1,0 +1,55 @@
+"""Vector clocks for the coherence sanitizer.
+
+Clock components are thread ids (every DexThread is one actor).  Clocks
+are sparse dicts: a missing component is 0, so page/copy clocks for pages
+a thread never touched cost nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+
+class VectorClock:
+    """A sparse vector clock over integer actor ids."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self) -> None:
+        self._c: Dict[int, int] = {}
+
+    def get(self, actor: int) -> int:
+        return self._c.get(actor, 0)
+
+    def tick(self, actor: int) -> int:
+        """Advance *actor*'s own component; returns the new value."""
+        value = self._c.get(actor, 0) + 1
+        self._c[actor] = value
+        return value
+
+    def merge(self, other: "VectorClock") -> None:
+        """Pointwise maximum (join) with *other*."""
+        own = self._c
+        for actor, value in other._c.items():
+            if value > own.get(actor, 0):
+                own[actor] = value
+
+    def dominates(self, actor: int, value: int) -> bool:
+        """Whether this clock has seen *actor*'s event number *value* —
+        i.e. that event happens-before the point this clock describes."""
+        return self._c.get(actor, 0) >= value
+
+    def copy(self) -> "VectorClock":
+        clone = VectorClock()
+        clone._c = dict(self._c)
+        return clone
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._c.items())
+
+    def __len__(self) -> int:
+        return len(self._c)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"t{a}:{v}" for a, v in sorted(self._c.items()))
+        return f"<VC {inner}>"

@@ -103,9 +103,13 @@ class DexCluster:
         thread = proc.spawn_thread(main, *args, name="main")
         self.engine.run(until=until)
         if not thread.sim_process.triggered:
+            detail = ""
+            if proc.deadlocks is not None:
+                # the wait-for detector knows who is stuck on what
+                detail = "\n" + proc.deadlocks.report()
             raise DexError(
                 "simulation ended before the main thread finished "
-                "(deadlock or `until` too small)"
+                "(deadlock or `until` too small)" + detail
             )
         return thread.result
 

@@ -103,15 +103,28 @@ class DelegationService:
             result = yield from self._ops[op](ctx, **kwargs)
             return result
         proc.stats.delegations += 1
-        reply = yield from proc.cluster.net.request(
-            Message(
-                MsgType.DELEGATE,
-                src=node,
-                dst=proc.origin,
-                payload={"pid": proc.pid, "tid": tid, "op": op, "kwargs": kwargs},
+        detector = proc.deadlocks
+        if detector is not None:
+            detector.on_delegation_call(tid, op, node)
+        try:
+            reply = yield from proc.cluster.net.request(
+                Message(
+                    MsgType.DELEGATE,
+                    src=node,
+                    dst=proc.origin,
+                    payload={"pid": proc.pid, "tid": tid, "op": op, "kwargs": kwargs},
+                )
             )
-        )
+        finally:
+            if detector is not None:
+                detector.on_delegation_return(tid)
         if "error" in reply.payload:
+            if reply.payload.get("error_kind") == "DeadlockError":
+                # re-raise detector findings with their own type so the
+                # caller can tell a wait-for cycle from an errno
+                from repro.check import DeadlockError
+
+                raise DeadlockError(reply.payload["error"])
             raise DexError(reply.payload["error"])
         return reply.payload["result"]
 
@@ -133,8 +146,9 @@ class DelegationService:
                 payload = {"result": result}
             except DexError as err:
                 # the op failed at the origin: ship the errno back, the
-                # way a failed syscall returns to a local caller
-                payload = {"error": str(err)}
+                # way a failed syscall returns to a local caller (the
+                # error kind lets checker findings keep their type)
+                payload = {"error": str(err), "error_kind": type(err).__name__}
         yield from proc.cluster.net.send(
             msg.make_reply(MsgType.DELEGATE_REPLY, payload)
         )

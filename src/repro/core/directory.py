@@ -216,10 +216,35 @@ class CoherenceDirectory:
             out.extend(self.shard(node).tree.iter_range(vpn_start, vpn_end))
         return out
 
+    def entries_hosted(self, node: int) -> int:
+        """How many directory entries *node* currently hosts.  The
+        interface teardown code uses instead of peeking at shard storage
+        (a node hosting entries must keep its state alive)."""
+        return len(self.shard(node))
+
     def __len__(self) -> int:
         return sum(len(self.shard(node)) for node in self.shard_nodes())
 
     # -- invariants ---------------------------------------------------------
+
+    def check_entry(
+        self, vpn: int, entry: PageEntry, hosted_at: Optional[int] = None
+    ) -> None:
+        """Per-entry multiple-reader/single-writer assertions.  Applied to
+        every entry by :meth:`check_invariants` at quiescent points, and
+        by the coherence sanitizer on **every ownership transition** —
+        right when a grant commits, not just at teardown."""
+        if hosted_at is not None:
+            assert self.home(vpn) == hosted_at, (
+                f"page {vpn:#x}: entry hosted at node {hosted_at} but its "
+                f"home is {self.home(vpn)}"
+            )
+        assert entry.owners, f"page {vpn:#x}: entry with no owners"
+        if entry.writer is not None:
+            assert entry.owners == {entry.writer}, (
+                f"page {vpn:#x}: writer {entry.writer} coexists with "
+                f"owners {entry.owners}"
+            )
 
     def check_invariants(self) -> None:
         """Raise AssertionError when the multiple-reader/single-writer
@@ -227,16 +252,7 @@ class CoherenceDirectory:
         Called by tests after every protocol step."""
         for node in self.shard_nodes():
             for vpn, entry in self.shard(node).tree.items():
-                assert self.home(vpn) == node, (
-                    f"page {vpn:#x}: entry hosted at node {node} but its "
-                    f"home is {self.home(vpn)}"
-                )
-                assert entry.owners, f"page {vpn:#x}: entry with no owners"
-                if entry.writer is not None:
-                    assert entry.owners == {entry.writer}, (
-                        f"page {vpn:#x}: writer {entry.writer} coexists with "
-                        f"owners {entry.owners}"
-                    )
+                self.check_entry(vpn, entry, hosted_at=node)
 
 
 class OriginDirectory(CoherenceDirectory):

@@ -120,7 +120,14 @@ class FaultHandler:
                     # compatible access type: follow (§III-C) — the
                     # leader's grant covers our access
                     coalesced = True
-                yield leader.done
+                detector = proc.deadlocks
+                if detector is not None:
+                    detector.on_follower_wait(tid, leader.leader_tid, vpn)
+                try:
+                    yield leader.done
+                finally:
+                    if detector is not None:
+                        detector.on_follower_resume(tid)
                 continue  # re-check the PTE, maybe become leader
             # become the leader for this page fault
             fault = InFlightFault(
@@ -154,6 +161,10 @@ class FaultHandler:
                 coalesced=False,
             )
             proc.stats.record_fault(record)
+            if proc.sanitizer is not None:
+                # the transition committed (our PTE is installed): the
+                # directory and every settled node must agree right now
+                proc.sanitizer.on_transition(vpn)
             return
         if coalesced:
             proc.stats.record_fault(
@@ -186,6 +197,8 @@ class FaultHandler:
             vpn = pos // page
             take = min(end - pos, (vpn + 1) * page - pos)
             yield from self.ensure_page(node, tid, vpn, False, site)
+            if proc.sanitizer is not None:
+                proc.sanitizer.on_access(node, tid, vpn, False, site)
             out += proc.node_state(node).frames.read(pos, take)
             pos += take
         return bytes(out)
@@ -202,6 +215,8 @@ class FaultHandler:
             vpn = (addr + pos) // page
             take = min(end - pos, (vpn + 1) * page - (addr + pos))
             yield from self.ensure_page(node, tid, vpn, True, site)
+            if proc.sanitizer is not None:
+                proc.sanitizer.on_access(node, tid, vpn, True, site)
             proc.node_state(node).frames.write(addr + pos, data[pos : pos + take])
             pos += take
 
@@ -220,6 +235,9 @@ class FaultHandler:
                 f"atomic update crosses a page boundary: {addr:#x}+{nbytes}"
             )
         yield from self.ensure_page(node, tid, vpn, True, site)
+        if proc.sanitizer is not None:
+            # one write-classified access covers the read-modify-write
+            proc.sanitizer.on_access(node, tid, vpn, True, site)
         frames = proc.node_state(node).frames
         old = frames.read(addr, nbytes)
         new = fn(old)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import struct
 from collections import deque
-from typing import TYPE_CHECKING, Deque, Dict, Generator
+from typing import TYPE_CHECKING, Deque, Dict, Generator, Tuple
 
 from repro.sim import Event
 
@@ -35,7 +35,10 @@ class FutexTable:
 
     def __init__(self, proc: "DexProcess"):
         self.proc = proc
-        self._queues: Dict[int, Deque[Event]] = {}
+        #: addr -> FIFO of (wake event, waiting tid); the tid identifies
+        #: the logical thread for the deadlock detector and for the
+        #: sanitizer's wake happens-before edge
+        self._queues: Dict[int, Deque[Tuple[Event, int]]] = {}
 
     def read_word(self, addr: int) -> int:
         """Synchronous read of the futex word from the origin's frames.
@@ -59,9 +62,19 @@ class FutexTable:
         yield from origin_ctx.fault_in(addr, FUTEX_WORD, write=False)
         if self.read_word(addr) != expected:
             return "eagain"
+        tid = origin_ctx.tid
+        detector = proc.deadlocks
+        if detector is not None:
+            # records the block frame and checks the wait-for graph for a
+            # cycle *before* we sleep; raises DeadlockError on one
+            detector.on_futex_wait(tid, addr)
         waiter = proc.cluster.engine.event(name=f"futex@{addr:#x}")
-        self._queues.setdefault(addr, deque()).append(waiter)
-        yield waiter
+        self._queues.setdefault(addr, deque()).append((waiter, tid))
+        try:
+            yield waiter
+        finally:
+            if detector is not None:
+                detector.on_futex_resume(tid)
         return "woken"
 
     def wake(self, origin_ctx, addr: int, count: int) -> Generator:
@@ -73,8 +86,14 @@ class FutexTable:
         yield proc.cluster.engine.timeout(params.futex_op_cost)
         queue = self._queues.get(addr)
         woken = 0
+        sanitizer = proc.sanitizer
         while queue and woken < count:
-            queue.popleft().succeed()
+            waiter, waiter_tid = queue.popleft()
+            if sanitizer is not None:
+                # the wake orders the waker's past before the woken
+                # thread's future
+                sanitizer.on_futex_wake(origin_ctx.tid, waiter_tid)
+            waiter.succeed()
             woken += 1
         if queue is not None and not queue:
             del self._queues[addr]

@@ -29,6 +29,7 @@ from typing import (
     Tuple,
 )
 
+from repro.check import make_sanitizers
 from repro.core.balancer import MigrationHints
 from repro.core.delegation import DelegationService
 from repro.core.directory import DirectoryShard, OwnerHintCache
@@ -104,6 +105,10 @@ class DexProcess:
         self.futex = FutexTable(self)
         self.vma_sync = VmaSync(self)
         self.files = FileService(self)
+        #: the repro.check dynamic checkers (None unless DEX_SANITIZE /
+        #: SimParams.sanitize enables them); every instrumentation site
+        #: in the fault/protocol/futex layers guards on these
+        self.sanitizer, self.deadlocks = make_sanitizers(self)
 
         self.threads: List[DexThread] = []
         self._next_tid = 0
@@ -152,14 +157,18 @@ class DexProcess:
         *args: Any,
         name: str = "",
         at_node: Optional[int] = None,
+        parent_tid: Optional[int] = None,
     ) -> DexThread:
         """Create and start a thread running *fn(ctx, *args)*.
 
         The thread gets its own stack VMA (tagged so the fault profiler can
         attribute stack-borne false sharing).  It starts at *at_node*
-        (default: the origin)."""
+        (default: the origin).  *parent_tid* identifies the creating
+        thread, giving the coherence sanitizer its spawn ordering edge."""
         thread = DexThread(self, self._next_tid, name=name)
         self._next_tid += 1
+        if self.sanitizer is not None and parent_tid is not None:
+            self.sanitizer.on_spawn(parent_tid, thread.tid)
         thread.current_node = self.origin if at_node is None else at_node
         origin_map = self.node_state(self.origin).vma_map
         thread.stack_base = self._next_stack
@@ -220,6 +229,8 @@ class DexProcess:
         state.page_table.drop_range(vpn_start, vpn_end)
         state.frames.drop_range(vpn_start, vpn_end)
         self.protocol.directory.drop_range(vpn_start, vpn_end)
+        if self.sanitizer is not None:
+            self.sanitizer.on_unmap(vpn_start, vpn_end)
         # shrinks are broadcast eagerly (§III-D)
         yield from self.vma_sync.broadcast_shrink(start, end)
 
@@ -270,7 +281,7 @@ class DexProcess:
         yield self.cluster.engine.timeout(self.cluster.params.vma_op_cost)
         self.nodes_with_worker.discard(node)
         state = self._node_states.get(node)
-        if state is not None and len(state.directory_shard) == 0:
+        if state is not None and self.protocol.directory.entries_hosted(node) == 0:
             # a node hosting directory shard entries keeps its state: the
             # metadata outlives the worker thread that ran there
             self._node_states.pop(node, None)

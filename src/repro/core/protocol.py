@@ -111,6 +111,8 @@ class ConsistencyProtocol:
                     # this page's shard — drop the hint and re-resolve
                     proc.stats.hint_stale += 1
                     proc.node_state(node).owner_hints.invalidate(vpn)
+                    if proc.sanitizer is not None:
+                        proc.sanitizer.on_redirect(vpn, node, target)
                     continue
                 self._note_home(node, vpn, target)
                 outcome = (
@@ -169,6 +171,8 @@ class ConsistencyProtocol:
         )
         home = reply.payload["home"]
         hints.insert(vpn, home)
+        if proc.sanitizer is not None:
+            proc.sanitizer.on_home_lookup(vpn, node, home)
         return home
 
     def _note_home(self, node: int, vpn: int, home: int) -> None:
@@ -251,6 +255,8 @@ class ConsistencyProtocol:
             # the requester lost the race and must back off and retry
             entry.busy_retries += 1
             result = (_RETRY, None, 0, None)
+            if proc.sanitizer is not None:
+                proc.sanitizer.on_retry(vpn, requester)
             if reply_to is not None:
                 yield from proc.cluster.net.send(
                     reply_to.make_reply(MsgType.PAGE_RETRY, {"outcome": _RETRY})
@@ -267,6 +273,13 @@ class ConsistencyProtocol:
                 result = yield from self._grant_shared(
                     entry, requester, known_version
                 )
+            if proc.sanitizer is not None:
+                # the grant is decided: the entry must satisfy MRSW right
+                # now, and the requester's copy inherits the page's causal
+                # history (it travels in-order ahead of any invalidation)
+                if proc.sanitizer.transition_checks:
+                    self.directory.check_entry(vpn, entry)
+                proc.sanitizer.on_grant(vpn, requester, write)
             if reply_to is not None:
                 _status, state_name, version, data = result
                 yield from proc.cluster.net.send(
@@ -294,7 +307,7 @@ class ConsistencyProtocol:
             # the only current copy, so there is nothing to move or bump
             return (_GRANT, PageState.EXCLUSIVE.value, entry.data_version, None)
         losers = sorted(entry.owners - {requester})
-        yield from self._revoke(entry, losers, downgrade=False)
+        yield from self._revoke(entry, losers, downgrade=False, requester=requester)
         current = entry.data_version
         data = self._data_for_grant(entry, requester, known_version)
         new_version = current + 1
@@ -316,7 +329,9 @@ class ConsistencyProtocol:
             # downgrading here would strand dirty data without a flush
             return (_GRANT, PageState.EXCLUSIVE.value, entry.data_version, None)
         if entry.writer is not None:
-            yield from self._revoke(entry, [entry.writer], downgrade=True)
+            yield from self._revoke(
+                entry, [entry.writer], downgrade=True, requester=requester
+            )
         entry.writer = None
         current = entry.data_version
         data = self._data_for_grant(entry, requester, known_version)
@@ -365,11 +380,18 @@ class ConsistencyProtocol:
         return bytes(proc.node_state(home).frames.frame(vpn))
 
     def _revoke(
-        self, entry: PageEntry, losers: List[int], downgrade: bool
+        self,
+        entry: PageEntry,
+        losers: List[int],
+        downgrade: bool,
+        requester: int = -1,
     ) -> Generator:
         """Revoke (or downgrade) ownership from *losers*, collecting acks.
         An exclusive loser flushes its dirty page, which is installed in
-        the home's frame; the home then always holds current data."""
+        the home's frame; the home then always holds current data.
+        *requester* is the node whose request triggered the revocation —
+        shipped in the invalidation payload so owner-side traces can name
+        both parties of the conflict."""
         proc = self.proc
         engine = proc.cluster.engine
         params = proc.cluster.params
@@ -381,6 +403,8 @@ class ConsistencyProtocol:
             home_pte = proc.node_state(home).page_table.ensure(vpn)
             # the home never discards its frame: it is the flush target
             home_pte.state = PageState.SHARED if downgrade else PageState.INVALID
+            if proc.sanitizer is not None:
+                proc.sanitizer.on_revoke(vpn, home, downgrade, requester)
         if remote_losers:
             proc.stats.invalidations_sent += len(remote_losers)
             pending = []
@@ -389,7 +413,12 @@ class ConsistencyProtocol:
                     MsgType.PAGE_INVALIDATE,
                     src=home,
                     dst=node,
-                    payload={"pid": proc.pid, "vpn": vpn, "downgrade": downgrade},
+                    payload={
+                        "pid": proc.pid,
+                        "vpn": vpn,
+                        "downgrade": downgrade,
+                        "requester": requester,
+                    },
                 )
                 pending.append(
                     engine.process(
@@ -397,6 +426,11 @@ class ConsistencyProtocol:
                     )
                 )
             acks = yield engine.all_of(pending)
+            if proc.sanitizer is not None:
+                # each ack proves the loser's accesses are complete; its
+                # copy's causal history flows into the page's home clock
+                for node in remote_losers:
+                    proc.sanitizer.on_revoke(vpn, node, downgrade, requester)
             flushes = [ack for ack in acks if ack.page_data is not None]
             if len(flushes) > 1:
                 raise ProtocolError(
@@ -412,6 +446,10 @@ class ConsistencyProtocol:
                     # the home now also holds a valid reader copy
                     home_pte.state = PageState.SHARED
                     entry.owners.add(home)
+                    if proc.sanitizer is not None:
+                        # grant-equivalent: the flush left the home with a
+                        # readable copy, inheriting the page's history
+                        proc.sanitizer.on_grant(vpn, home, write=False)
         if downgrade:
             # downgraded losers stay owners (readers); nothing to remove
             return
@@ -447,6 +485,8 @@ class ConsistencyProtocol:
                 yield from self.acquire_page(origin, vpn, True, fault)
             finally:
                 fault.done.succeed()
+            if proc.sanitizer is not None:
+                proc.sanitizer.on_transition(vpn)
 
     # ------------------------------------------------------------------
     # owner side: servicing revocations
@@ -490,6 +530,10 @@ class ConsistencyProtocol:
                 fault_type="invalidate",
                 site="",
                 addr=vpn * params.page_size,
+                # the node whose access triggered this revocation (falling
+                # back to the revoking home for old-style messages), so
+                # false-sharing reports can name both parties
+                src_node=msg.payload.get("requester", msg.src),
             )
         yield from proc.cluster.net.send(
             msg.make_reply(
@@ -501,32 +545,55 @@ class ConsistencyProtocol:
     # invariant checking (used by tests)
     # ------------------------------------------------------------------
 
+    def check_page(
+        self, vpn: int, entry: PageEntry, skip_inflight: bool = False
+    ) -> None:
+        """Assert every node's PTE agrees with *entry*.
+
+        With *skip_inflight*, nodes that have an active in-flight fault for
+        the page are excused — their PTE legitimately lags the directory
+        while a grant is traveling.  That is the per-transition mode the
+        coherence sanitizer uses; the quiescent teardown check passes
+        False and holds every node to account."""
+        for node, state in self.proc.iter_node_states():
+            if skip_inflight:
+                flist = state.inflight.get(vpn)
+                if flist and any(not f.done.triggered for f in flist):
+                    continue
+            pte = state.page_table.lookup(vpn)
+            pte_state = pte.state if pte is not None else PageState.INVALID
+            if node in entry.owners:
+                assert pte_state is not PageState.INVALID, (
+                    f"page {vpn:#x}: node {node} is a directory owner "
+                    f"but its PTE is invalid"
+                )
+                if entry.writer == node:
+                    assert pte_state is PageState.EXCLUSIVE, (
+                        f"page {vpn:#x}: node {node} is the writer but its "
+                        f"PTE is {pte_state}"
+                    )
+                else:
+                    assert pte_state is PageState.SHARED, (
+                        f"page {vpn:#x}: node {node} is a reader owner but "
+                        f"its PTE is {pte_state}"
+                    )
+                assert pte.data_version == entry.data_version, (
+                    f"page {vpn:#x}: node {node} holds version "
+                    f"{pte.data_version}, directory says {entry.data_version}"
+                )
+            else:
+                assert pte_state is PageState.INVALID, (
+                    f"page {vpn:#x}: node {node} has PTE {pte_state} "
+                    f"but is not a directory owner"
+                )
+
     def check_invariants(self) -> None:
         """Assert the directory and all page tables agree.  Only valid at
-        quiescent points (no in-flight protocol operations)."""
+        quiescent points (no in-flight protocol operations); the coherence
+        sanitizer applies the same per-page check at every ownership
+        transition via :meth:`check_page`."""
         self.directory.check_invariants()
-        proc = self.proc
         for vpn, entry in self.directory.entries():
             if entry.busy:
                 continue
-            for node, state in proc.iter_node_states():
-                pte = state.page_table.lookup(vpn)
-                pte_state = pte.state if pte is not None else PageState.INVALID
-                if node in entry.owners:
-                    assert pte_state is not PageState.INVALID, (
-                        f"page {vpn:#x}: node {node} is a directory owner "
-                        f"but its PTE is invalid"
-                    )
-                    if entry.writer == node:
-                        assert pte_state is PageState.EXCLUSIVE
-                    else:
-                        assert pte_state is PageState.SHARED
-                    assert pte.data_version == entry.data_version, (
-                        f"page {vpn:#x}: node {node} holds version "
-                        f"{pte.data_version}, directory says {entry.data_version}"
-                    )
-                else:
-                    assert pte_state is PageState.INVALID, (
-                        f"page {vpn:#x}: node {node} has PTE {pte_state} "
-                        f"but is not a directory owner"
-                    )
+            self.check_page(vpn, entry)

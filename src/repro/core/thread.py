@@ -317,7 +317,8 @@ class ThreadContext:
         """Create a new thread running *fn(ctx, *args)* at this thread's
         current node (pthread_create semantics)."""
         return self.proc.spawn_thread(
-            fn, *args, name=name, at_node=self.thread.current_node
+            fn, *args, name=name, at_node=self.thread.current_node,
+            parent_tid=self.tid,
         )
 
     def join(self, thread: DexThread) -> Generator:

@@ -34,8 +34,6 @@ class MsgType(enum.Enum):
     PAGE_RETRY = "page_retry"              # home -> remote: lost the race
     PAGE_INVALIDATE = "page_invalidate"    # home -> owner: revoke ownership
     PAGE_INVALIDATE_ACK = "page_invalidate_ack"
-    PAGE_FETCH = "page_fetch"              # home -> exclusive owner: send data
-    PAGE_FETCH_REPLY = "page_fetch_reply"
 
     # home-routed directory layer (sharded backend)
     PAGE_HOME_LOOKUP = "page_home_lookup"  # remote -> origin: resolve vpn's home
@@ -68,8 +66,6 @@ CONTROL_SIZES: Dict[MsgType, int] = {
     MsgType.PAGE_RETRY: 24,
     MsgType.PAGE_INVALIDATE: 32,
     MsgType.PAGE_INVALIDATE_ACK: 24,
-    MsgType.PAGE_FETCH: 32,
-    MsgType.PAGE_FETCH_REPLY: 32,
     MsgType.PAGE_HOME_LOOKUP: 24,
     MsgType.PAGE_HOME_INFO: 24,
     MsgType.PAGE_REDIRECT: 24,

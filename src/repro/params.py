@@ -134,6 +134,13 @@ class SimParams:
     #: origin-side shard-map lookup answering a PAGE_HOME_LOOKUP
     home_lookup_cost: float = 1.2
 
+    # ---- correctness checking (see repro.check) --------------------------
+    #: dynamic-checker selection: "" off, "race" (coherence sanitizer),
+    #: "deadlock" (wait-for detector), "1"/"all" for both.  None defers to
+    #: the DEX_SANITIZE environment variable (how CI turns it on without
+    #: touching every SimParams construction).
+    sanitize: Optional[str] = None
+
     # ---- feature switches (for ablations) ---------------------------------
     #: leader-follower coalescing of concurrent same-page faults (§III-C)
     enable_fault_coalescing: bool = True

@@ -40,12 +40,18 @@ class Mutex:
                 self.addr, _FREE, _LOCKED_CONTENDED, site=f"mutex:{self.name}"
             )
             if observed == _FREE:
+                if ctx.proc.deadlocks is not None:
+                    # tell the wait-for detector who holds this lock, so
+                    # futex waiters on it get a blocked-on edge
+                    ctx.proc.deadlocks.on_lock_acquired(self.addr, ctx.tid)
                 return
             # contended: sleep until the holder unlocks (the futex re-checks
             # the word at the origin, so a lost wake cannot strand us)
             yield from ctx.futex_wait(self.addr, _LOCKED_CONTENDED)
 
     def unlock(self, ctx: "ThreadContext") -> Generator:
+        if ctx.proc.deadlocks is not None:
+            ctx.proc.deadlocks.on_lock_released(self.addr, ctx.tid)
         yield from ctx.write_u32(self.addr, _FREE, site=f"mutex:{self.name}")
         yield from ctx.futex_wake(self.addr, 1)
 

@@ -190,6 +190,11 @@ class Process(Event):
             )
             return
         self._waiting_on = target
+        if self.engine.hooks:
+            for hook in self.engine.hooks:
+                waiting = getattr(hook, "on_process_waiting", None)
+                if waiting is not None:
+                    waiting(self, target)
         target.add_callback(self._resume)
 
 
@@ -241,6 +246,16 @@ class Engine:
         self._queue: List = []
         self._seq = 0
         self._running = False
+        #: observers of process lifecycle (see :meth:`add_hook`); empty in
+        #: normal runs, so every hook site is one falsy check
+        self.hooks: List[Any] = []
+
+    def add_hook(self, hook: Any) -> None:
+        """Register a process-lifecycle observer.  A hook may implement
+        ``on_process_created(process)``, ``on_process_waiting(process,
+        event)``, and ``on_process_finished(process)``; the engine calls
+        whichever exist.  Used by the repro.check diagnostics layer."""
+        self.hooks.append(hook)
 
     # -- scheduling primitives ------------------------------------------
 
@@ -272,7 +287,20 @@ class Engine:
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: str = "") -> Process:
-        return Process(self, generator, name=name)
+        proc = Process(self, generator, name=name)
+        if self.hooks:
+            for hook in self.hooks:
+                created = getattr(hook, "on_process_created", None)
+                if created is not None:
+                    created(proc)
+            proc.add_callback(self._notify_finished)
+        return proc
+
+    def _notify_finished(self, proc: Event) -> None:
+        for hook in self.hooks:
+            finished = getattr(hook, "on_process_finished", None)
+            if finished is not None:
+                finished(proc)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)

@@ -29,6 +29,9 @@ class PageReport:
     reader_nodes: Tuple[int, ...]
     tags: Tuple[str, ...]
     sites: Tuple[str, ...]
+    #: (requesting node, revoked node, count) per invalidation pair — both
+    #: parties of each bounce, from the trace's src_node attribution
+    invalidation_pairs: Tuple[Tuple[int, int, int], ...] = ()
 
     @property
     def falsely_shared(self) -> bool:
@@ -64,6 +67,11 @@ class TraceAnalysis:
             readers = sorted({e.node for e in faults if e.fault_type == "read"})
             tags = tuple(sorted({e.tag for e in faults if e.tag}))
             sites = tuple(sorted({e.site for e in faults if e.site}))
+            pairs: Counter = Counter(
+                (e.src_node, e.node)
+                for e in events
+                if e.fault_type == "invalidate" and e.src_node >= 0
+            )
             reports.append(
                 PageReport(
                     vpn=vpn,
@@ -72,6 +80,10 @@ class TraceAnalysis:
                     reader_nodes=tuple(readers),
                     tags=tags,
                     sites=sites,
+                    invalidation_pairs=tuple(
+                        (src, victim, count)
+                        for (src, victim), count in sorted(pairs.items())
+                    ),
                 )
             )
         reports.sort(key=lambda r: r.faults, reverse=True)
@@ -146,4 +158,8 @@ class TraceAnalysis:
                 f"{list(page.writer_nodes)}, readers {list(page.reader_nodes)}, "
                 f"tags {list(page.tags)}"
             )
+            for src, victim, count in page.invalidation_pairs:
+                lines.append(
+                    f"    node {src} revoked node {victim} x{count}"
+                )
         return "\n".join(lines)

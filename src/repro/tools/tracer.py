@@ -32,6 +32,10 @@ class FaultEvent:
     site: str        # faulting "instruction": the access's source label
     addr: int        # faulting memory address
     tag: str = ""    # user identifier: the VMA tag
+    #: for "invalidate" events: the node whose page request caused the
+    #: revocation (-1 when unknown) — lets the false-sharing analysis name
+    #: both parties of each bounce
+    src_node: int = -1
 
 
 class FaultTracer:
@@ -52,12 +56,13 @@ class FaultTracer:
         site: str,
         addr: int,
         tag: str = "",
+        src_node: int = -1,
     ) -> None:
         if len(self.events) >= self.max_events:
             self.dropped += 1
             return
         self.events.append(
-            FaultEvent(time_us, node, tid, fault_type, site, addr, tag)
+            FaultEvent(time_us, node, tid, fault_type, site, addr, tag, src_node)
         )
 
     def __len__(self) -> int:
@@ -76,11 +81,13 @@ class FaultTracer:
         with open(path, "w", newline="") as fh:
             writer = csv.writer(fh)
             writer.writerow(
-                ["time_us", "node", "tid", "fault_type", "site", "addr", "tag"]
+                ["time_us", "node", "tid", "fault_type", "site", "addr", "tag",
+                 "src_node"]
             )
             for e in self.events:
                 writer.writerow(
-                    [e.time_us, e.node, e.tid, e.fault_type, e.site, e.addr, e.tag]
+                    [e.time_us, e.node, e.tid, e.fault_type, e.site, e.addr,
+                     e.tag, e.src_node]
                 )
 
     @classmethod
@@ -97,6 +104,8 @@ class FaultTracer:
                         site=row["site"],
                         addr=int(row["addr"]),
                         tag=row["tag"],
+                        # traces written before the column existed load fine
+                        src_node=int(row.get("src_node") or -1),
                     )
                 )
         return tracer

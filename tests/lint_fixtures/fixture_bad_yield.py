@@ -1,0 +1,8 @@
+"""Lint fixture: generator processes yielding non-waitables — both the
+constant yield and the bare yield must trip ``yield-discipline``."""
+
+
+def broken_process(engine):
+    yield 5
+    yield
+    yield engine.timeout(1.0)

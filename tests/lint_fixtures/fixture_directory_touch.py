@@ -1,0 +1,10 @@
+"""Lint fixture: reaching into directory storage internals from outside
+``core/directory.py`` — must trip ``directory-encapsulation``."""
+
+
+def peek(state):
+    return state.directory_shard.entries
+
+
+def stale_hint(state, vpn):
+    return state.owner_hints._lru.get(vpn)

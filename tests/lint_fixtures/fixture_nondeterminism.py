@@ -1,0 +1,9 @@
+"""Lint fixture: wall-clock and unseeded-RNG calls inside sim code —
+must trip ``sim-nondeterminism`` for the import and both calls."""
+
+import random
+import time
+
+
+def jitter():
+    return random.random() + time.time()

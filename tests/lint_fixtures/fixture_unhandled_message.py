@@ -1,0 +1,16 @@
+"""Lint fixture: a MsgType member with no handler anywhere.
+
+HELLO is wired to a router; ORPHAN is dead protocol surface and must
+trip ``unhandled-message-type``.
+"""
+
+import enum
+
+
+class MsgType(enum.Enum):
+    HELLO = "hello"
+    ORPHAN = "orphan"
+
+
+def wire(router):
+    router.register(MsgType.HELLO, lambda msg: None)

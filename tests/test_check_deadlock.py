@@ -1,0 +1,121 @@
+"""The wait-for deadlock detector: classic cycles are reported with
+per-thread stacks, legitimate contention is not flagged, and a stuck
+simulation gets a post-mortem report."""
+
+import pytest
+
+from repro.check import DeadlockError
+from repro.core.errors import DexError
+from repro.runtime import MemoryAllocator, Mutex
+
+from conftest import make_cluster
+
+GLOBALS = 0x1000_0000
+
+
+def test_abba_deadlock_detected_with_stacks():
+    """t1 holds A and wants B; t2 (remote, via delegation) holds B and
+    wants A — the cycle is reported the moment it closes, with each
+    member's block-frame stack."""
+    cluster = make_cluster(num_nodes=2, sanitize="deadlock")
+    proc = cluster.create_process()
+    alloc = MemoryAllocator(proc)
+    lock_a = Mutex(alloc, name="A")
+    lock_b = Mutex(alloc, name="B")
+
+    def holder_ab(ctx):
+        yield from lock_a.lock(ctx)
+        yield from ctx.sleep(5000)
+        yield from lock_b.lock(ctx)
+
+    def holder_ba(ctx):
+        yield from ctx.migrate(1)
+        yield from lock_b.lock(ctx)
+        yield from ctx.sleep(5000)
+        yield from lock_a.lock(ctx)
+
+    def main(ctx):
+        t1 = ctx.spawn(holder_ab, name="ab")
+        t2 = ctx.spawn(holder_ba, name="ba")
+        yield from proc.join_all([t1, t2])
+
+    with pytest.raises(DeadlockError) as exc_info:
+        cluster.simulate(main, proc)
+    message = str(exc_info.value)
+    assert "wait-for cycle detected" in message
+    # both orientations of the two-cycle are the same cycle
+    assert "t1 -> t2 -> t1" in message or "t2 -> t1 -> t2" in message
+    assert "t1 blocked in:" in message and "t2 blocked in:" in message
+    assert "futex(" in message
+    # the remote locker's delegation round-trip shows up in its stack
+    assert "delegation(futex_wait@node1)" in message
+
+
+def test_self_deadlock_on_relock():
+    """Relocking a held (non-recursive) mutex is a one-thread cycle."""
+    cluster = make_cluster(num_nodes=2, sanitize="deadlock")
+    proc = cluster.create_process()
+    alloc = MemoryAllocator(proc)
+    lock = Mutex(alloc, name="M")
+
+    def main(ctx):
+        yield from lock.lock(ctx)
+        yield from lock.lock(ctx)
+
+    with pytest.raises(DeadlockError) as exc_info:
+        cluster.simulate(main, proc)
+    assert "t0 -> t0" in str(exc_info.value)
+
+
+def test_contended_mutex_is_not_flagged():
+    """Heavy cross-node contention on one lock is progress, not a
+    deadlock — and the lock-ordered critical sections satisfy the race
+    sanitizer (futex wakes and the lock word's coherence carry the
+    happens-before edges)."""
+    cluster = make_cluster(num_nodes=2, sanitize="all")
+    proc = cluster.create_process()
+    alloc = MemoryAllocator(proc)
+    lock = Mutex(alloc, name="M")
+    counter = alloc.alloc_global(8, tag="counter")
+
+    def worker(ctx, node):
+        yield from ctx.migrate(node)
+        for _ in range(3):
+            yield from lock.lock(ctx)
+            value = yield from ctx.read_i64(counter, site="cs:read")
+            yield from ctx.compute(cpu_us=5.0)
+            yield from ctx.write_i64(counter, value + 1, site="cs:write")
+            yield from lock.unlock(ctx)
+        yield from ctx.migrate_back()
+
+    threads = [proc.spawn_thread(worker, n % 2) for n in range(4)]
+
+    def main(ctx):
+        yield from proc.join_all(threads)
+        total = yield from ctx.read_i64(counter)
+        return total
+
+    assert cluster.simulate(main, proc) == 12
+    detector = proc.deadlocks
+    assert detector._frames == {}
+    assert detector._lock_holder == {}
+    assert detector.edges_checked > 0
+
+
+def test_stuck_simulation_report_names_the_waiter():
+    """A futex wait nobody will ever wake is not a wait-for cycle, but
+    the simulate() failure carries the detector's post-mortem."""
+    cluster = make_cluster(num_nodes=2, sanitize="deadlock")
+    proc = cluster.create_process()
+
+    def main(ctx):
+        yield from ctx.write_u32(GLOBALS, 0)
+        yield from ctx.futex_wait(GLOBALS, expected=0)
+
+    with pytest.raises(DexError) as exc_info:
+        cluster.simulate(main, proc)
+    message = str(exc_info.value)
+    assert "simulation ended before the main thread finished" in message
+    assert "wait-for state:" in message
+    assert "t0 blocked in:" in message
+    assert "futex(" in message

@@ -1,0 +1,112 @@
+"""The repo-specific lint pass: the repo itself must be clean, and each
+fixture must trip exactly its intended rule (with a location)."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.check.lint import RULES, lint_paths, lint_repo
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def rules_of(violations):
+    return sorted({v.rule for v in violations})
+
+
+def test_rule_registry_is_complete():
+    assert RULES == (
+        "unhandled-message-type",
+        "directory-encapsulation",
+        "sim-nondeterminism",
+        "yield-discipline",
+    )
+
+
+def test_repo_is_lint_clean():
+    violations = lint_repo()
+    assert violations == [], "\n".join(v.format() for v in violations)
+
+
+def test_unhandled_message_type_fixture():
+    violations = lint_paths([FIXTURES / "fixture_unhandled_message.py"])
+    assert rules_of(violations) == ["unhandled-message-type"]
+    (v,) = violations
+    assert "MsgType.ORPHAN" in v.message
+    assert v.line > 0
+    assert "fixture_unhandled_message.py" in v.path
+
+
+def test_directory_encapsulation_fixture():
+    violations = lint_paths([FIXTURES / "fixture_directory_touch.py"])
+    assert rules_of(violations) == ["directory-encapsulation"]
+    touched = {v.message.split("'")[1] for v in violations}
+    assert touched == {".directory_shard", "._lru"}
+
+
+def test_nondeterminism_fixture():
+    violations = lint_paths([FIXTURES / "fixture_nondeterminism.py"])
+    assert rules_of(violations) == ["sim-nondeterminism"]
+    messages = " | ".join(v.message for v in violations)
+    assert "import of the unseeded 'random' module" in messages
+    assert "random.random()" in messages
+    assert "time.time()" in messages
+
+
+def test_yield_discipline_fixture():
+    violations = lint_paths([FIXTURES / "fixture_bad_yield.py"])
+    assert rules_of(violations) == ["yield-discipline"]
+    shown = {v.message.split(":")[0] for v in violations}
+    assert shown == {"bare yield", "yield 5"}
+
+
+def test_repo_mode_exempts_offline_tooling():
+    # tools/ reads no wall clocks today, but the exemption is what lets
+    # e.g. bench harnesses time themselves; a fixture under a "tools"
+    # directory demonstrates it
+    tools_dir = FIXTURES / "tools"
+    tools_dir.mkdir(exist_ok=True)
+    fixture = tools_dir / "offline.py"
+    fixture.write_text("import time\n\ndef stamp():\n    return time.time()\n")
+    try:
+        assert rules_of(lint_paths([fixture])) == ["sim-nondeterminism"]
+        assert lint_paths([fixture], repo_mode=True) == []
+    finally:
+        fixture.unlink()
+        tools_dir.rmdir()
+
+
+def _run_cli(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.check", "--lint", *args],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+    )
+
+
+def test_cli_clean_on_repo():
+    result = _run_cli()
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "lint: clean" in result.stdout
+
+
+def test_cli_nonzero_on_fixture():
+    result = _run_cli(str(FIXTURES / "fixture_nondeterminism.py"))
+    assert result.returncode == 1
+    assert "[sim-nondeterminism]" in result.stdout
+    assert "fixture_nondeterminism.py" in result.stdout
+    assert "violation(s)" in result.stderr
+
+
+def test_cli_list_rules():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.check", "--list-rules"],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0
+    assert set(result.stdout.split()) == set(RULES)
