@@ -1,6 +1,6 @@
 """The repo-specific static lint pass (``python -m repro.check --lint``).
 
-Four AST-based rules, each encoding an invariant of this codebase that a
+Five AST-based rules, each encoding an invariant of this codebase that a
 generic linter cannot know:
 
 * ``unhandled-message-type`` — every ``MsgType`` enum member must be
@@ -22,6 +22,15 @@ generic linter cannot know:
 * ``yield-discipline`` — generator processes may only yield waitables
   (events/timeouts/processes); a bare ``yield`` or a constant yield is
   a latent ``SimulationError`` the engine will throw at runtime.
+* ``span-discipline`` — tracing spans must be closed by a context
+  manager: every ``.span(...)``/``maybe_span(...)`` call must be a
+  ``with``-statement item, or the span leaks open (its ``end_us`` never
+  stamps and nesting under it corrupts the tree).  And trace ids may
+  only cross processes through the sanctioned ``Message`` header fields,
+  never smuggled through ad-hoc dict payloads — so the string keys
+  ``"trace_id"``/``"parent_span"``/``"span_id"`` are banned in dict
+  literals.  The ``obs`` package itself (which implements the
+  machinery) is exempt in repo mode.
 """
 
 from __future__ import annotations
@@ -36,6 +45,7 @@ RULES = (
     "directory-encapsulation",
     "sim-nondeterminism",
     "yield-discipline",
+    "span-discipline",
 )
 
 #: attribute names that are directory storage internals
@@ -64,6 +74,13 @@ _SEEDED_RNG_CTORS = frozenset({"default_rng", "RandomState", "SeedSequence",
 #: modules exempt from the nondeterminism rule when linting the repo:
 #: offline tooling that never runs inside a simulation
 _NONDETERMINISM_EXEMPT_PARTS = ("bench", "tools", "check")
+
+#: packages exempt from the span-discipline rule when linting the repo:
+#: the tracing machinery itself builds spans and serializes their ids
+_SPAN_EXEMPT_PARTS = ("obs",)
+
+#: dict keys that would smuggle trace context outside the Message fields
+_TRACE_ID_KEYS = frozenset({"trace_id", "parent_span", "span_id"})
 
 
 @dataclass
@@ -277,8 +294,54 @@ def _check_yield_discipline(scan: _ModuleScan) -> List[LintViolation]:
     return violations
 
 
+def _check_span_discipline(scan: _ModuleScan) -> List[LintViolation]:
+    violations = []
+    # calls that appear as a with-statement item are the sanctioned form
+    with_calls: Set[int] = set()
+    for node in ast.walk(scan.tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.context_expr, ast.Call):
+                    with_calls.add(id(item.context_expr))
+    for node in ast.walk(scan.tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            opens_span = (
+                (isinstance(func, ast.Attribute) and func.attr == "span")
+                or (isinstance(func, ast.Name) and func.id == "maybe_span")
+            )
+            if opens_span and id(node) not in with_calls:
+                shown = "maybe_span" if isinstance(func, ast.Name) else \
+                    f"{'.'.join(_dotted_name(func)) or '<expr>.span'}"
+                violations.append(LintViolation(
+                    rule="span-discipline",
+                    path=str(scan.path), line=node.lineno,
+                    message=f"'{shown}(...)' outside a with statement: "
+                            f"spans must be closed by their context "
+                            f"manager or end_us never stamps",
+                ))
+        elif isinstance(node, ast.Dict):
+            for key in node.keys:
+                if (
+                    isinstance(key, ast.Constant)
+                    and key.value in _TRACE_ID_KEYS
+                ):
+                    violations.append(LintViolation(
+                        rule="span-discipline",
+                        path=str(scan.path), line=key.lineno,
+                        message=f"dict key {key.value!r}: trace ids cross "
+                                f"processes only via the Message "
+                                f"trace_id/parent_span fields",
+                    ))
+    return violations
+
+
 def _nondeterminism_exempt(path: Path) -> bool:
     return any(part in _NONDETERMINISM_EXEMPT_PARTS for part in path.parts)
+
+
+def _span_exempt(path: Path) -> bool:
+    return any(part in _SPAN_EXEMPT_PARTS for part in path.parts)
 
 
 def lint_paths(paths: Sequence[Path], repo_mode: bool = False) -> List[LintViolation]:
@@ -305,6 +368,8 @@ def lint_paths(paths: Sequence[Path], repo_mode: bool = False) -> List[LintViola
         if not (repo_mode and _nondeterminism_exempt(scan.path)):
             violations.extend(_check_sim_nondeterminism(scan))
         violations.extend(_check_yield_discipline(scan))
+        if not (repo_mode and _span_exempt(scan.path)):
+            violations.extend(_check_span_discipline(scan))
     violations.sort(key=lambda v: (v.path, v.line, v.rule))
     return violations
 

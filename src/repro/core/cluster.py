@@ -30,6 +30,8 @@ from repro.core.errors import DexError
 from repro.core.process import DexProcess
 from repro.net.fabric import Network
 from repro.net.messages import Message, MsgType
+from repro.obs import resolve_trace_mode
+from repro.obs.tracing import Tracer
 from repro.params import SimParams
 from repro.sim import Engine, FairShareResource, Resource
 
@@ -57,13 +59,26 @@ class DexCluster:
         num_nodes: int = 8,
         params: Optional[SimParams] = None,
         directory: Optional[str] = None,
+        trace: Optional[Any] = None,
     ):
         self.params = params if params is not None else SimParams()
         if directory is not None:
             # convenience knob: select the coherence-directory backend
             # ("origin" | "sharded") without hand-building SimParams
             self.params = self.params.copy(directory=directory)
+        if trace is not None:
+            # convenience knob: DexCluster(trace=True) / trace="spans"
+            self.params = self.params.copy(
+                trace=trace if isinstance(trace, str) else ("1" if trace else "")
+            )
         self.engine = Engine()
+        #: the repro.obs span tracer, or None when tracing is off (the
+        #: common case — instrumented code then costs one None check)
+        self.tracer: Optional[Tracer] = (
+            Tracer(self.engine, max_spans=self.params.trace_max_spans)
+            if resolve_trace_mode(self.params.trace)
+            else None
+        )
         self.net = Network(self.engine, num_nodes, self.params)
         self.nodes: List[DexNode] = [
             DexNode(self.engine, n, self.params) for n in range(num_nodes)

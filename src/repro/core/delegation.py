@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, Generator
 
 from repro.core.errors import DexError
 from repro.net.messages import Message, MsgType
+from repro.obs.tracing import maybe_span
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.process import DexProcess
@@ -107,14 +108,17 @@ class DelegationService:
         if detector is not None:
             detector.on_delegation_call(tid, op, node)
         try:
-            reply = yield from proc.cluster.net.request(
-                Message(
-                    MsgType.DELEGATE,
-                    src=node,
-                    dst=proc.origin,
-                    payload={"pid": proc.pid, "tid": tid, "op": op, "kwargs": kwargs},
+            with maybe_span(
+                proc.obs, "delegation.call", node=node, tid=tid, op=op
+            ):
+                reply = yield from proc.cluster.net.request(
+                    Message(
+                        MsgType.DELEGATE,
+                        src=node,
+                        dst=proc.origin,
+                        payload={"pid": proc.pid, "tid": tid, "op": op, "kwargs": kwargs},
+                    )
                 )
-            )
         finally:
             if detector is not None:
                 detector.on_delegation_return(tid)

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Dict, Generator, List, Optional
 from repro.core.errors import SegmentationFault
 from repro.core.stats import FaultRecord
 from repro.memory.page_table import PageState
+from repro.obs.tracing import maybe_span
 from repro.sim import Event
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -87,6 +88,18 @@ class FaultHandler:
     def _fault(
         self, node: int, tid: int, vpn: int, write: bool, site: str
     ) -> Generator:
+        obs = self.proc.obs
+        if obs is None:
+            yield from self._fault_impl(node, tid, vpn, write, site, None)
+        else:
+            with obs.span(
+                "fault", node=node, tid=tid, vpn=vpn, write=write, site=site
+            ) as span:
+                yield from self._fault_impl(node, tid, vpn, write, site, span)
+
+    def _fault_impl(
+        self, node: int, tid: int, vpn: int, write: bool, site: str, span
+    ) -> Generator:
         proc = self.proc
         engine = proc.cluster.engine
         params = proc.cluster.params
@@ -124,7 +137,11 @@ class FaultHandler:
                 if detector is not None:
                     detector.on_follower_wait(tid, leader.leader_tid, vpn)
                 try:
-                    yield leader.done
+                    with maybe_span(
+                        proc.obs, "fault.follow",
+                        node=node, tid=tid, vpn=vpn, leader=leader.leader_tid,
+                    ):
+                        yield leader.done
                 finally:
                     if detector is not None:
                         detector.on_follower_resume(tid)
@@ -140,9 +157,13 @@ class FaultHandler:
                 flist = state.inflight[vpn] = []
             flist.append(fault)
             try:
-                retries = yield from proc.protocol.acquire_page(
-                    node, vpn, write, fault
-                )
+                with maybe_span(
+                    proc.obs, "fault.acquire",
+                    node=node, tid=tid, vpn=vpn, write=write,
+                ):
+                    retries = yield from proc.protocol.acquire_page(
+                        node, vpn, write, fault
+                    )
             finally:
                 # trigger synchronously with the final PTE update so that
                 # waiters (followers, invalidations) run strictly after it
@@ -161,12 +182,16 @@ class FaultHandler:
                 coalesced=False,
             )
             proc.stats.record_fault(record)
+            if span is not None:
+                span.attrs["retries"] = retries
             if proc.sanitizer is not None:
                 # the transition committed (our PTE is installed): the
                 # directory and every settled node must agree right now
                 proc.sanitizer.on_transition(vpn)
             return
         if coalesced:
+            if span is not None:
+                span.attrs["coalesced"] = True
             proc.stats.record_fault(
                 FaultRecord(
                     vpn=vpn,

@@ -21,6 +21,7 @@ import struct
 from collections import deque
 from typing import TYPE_CHECKING, Deque, Dict, Generator, Tuple
 
+from repro.obs.tracing import maybe_span
 from repro.sim import Event
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -56,25 +57,31 @@ class FutexTable:
         proc = self.proc
         params = proc.cluster.params
         proc.stats.futex_waits += 1
-        yield proc.cluster.engine.timeout(params.futex_op_cost)
-        # fault the futex page to the origin (read access), then compare
-        # and enqueue atomically (no yields in between)
-        yield from origin_ctx.fault_in(addr, FUTEX_WORD, write=False)
-        if self.read_word(addr) != expected:
-            return "eagain"
-        tid = origin_ctx.tid
-        detector = proc.deadlocks
-        if detector is not None:
-            # records the block frame and checks the wait-for graph for a
-            # cycle *before* we sleep; raises DeadlockError on one
-            detector.on_futex_wait(tid, addr)
-        waiter = proc.cluster.engine.event(name=f"futex@{addr:#x}")
-        self._queues.setdefault(addr, deque()).append((waiter, tid))
-        try:
-            yield waiter
-        finally:
+        with maybe_span(
+            proc.obs, "futex.wait",
+            node=proc.origin, tid=origin_ctx.tid, addr=addr,
+        ) as span:
+            yield proc.cluster.engine.timeout(params.futex_op_cost)
+            # fault the futex page to the origin (read access), then compare
+            # and enqueue atomically (no yields in between)
+            yield from origin_ctx.fault_in(addr, FUTEX_WORD, write=False)
+            if self.read_word(addr) != expected:
+                if span is not None:
+                    span.attrs["result"] = "eagain"
+                return "eagain"
+            tid = origin_ctx.tid
+            detector = proc.deadlocks
             if detector is not None:
-                detector.on_futex_resume(tid)
+                # records the block frame and checks the wait-for graph for a
+                # cycle *before* we sleep; raises DeadlockError on one
+                detector.on_futex_wait(tid, addr)
+            waiter = proc.cluster.engine.event(name=f"futex@{addr:#x}")
+            self._queues.setdefault(addr, deque()).append((waiter, tid))
+            try:
+                yield waiter
+            finally:
+                if detector is not None:
+                    detector.on_futex_resume(tid)
         return "woken"
 
     def wake(self, origin_ctx, addr: int, count: int) -> Generator:
@@ -83,20 +90,24 @@ class FutexTable:
         proc = self.proc
         params = proc.cluster.params
         proc.stats.futex_wakes += 1
-        yield proc.cluster.engine.timeout(params.futex_op_cost)
-        queue = self._queues.get(addr)
-        woken = 0
-        sanitizer = proc.sanitizer
-        while queue and woken < count:
-            waiter, waiter_tid = queue.popleft()
-            if sanitizer is not None:
-                # the wake orders the waker's past before the woken
-                # thread's future
-                sanitizer.on_futex_wake(origin_ctx.tid, waiter_tid)
-            waiter.succeed()
-            woken += 1
-        if queue is not None and not queue:
-            del self._queues[addr]
+        with maybe_span(
+            proc.obs, "futex.wake",
+            node=proc.origin, tid=origin_ctx.tid, addr=addr,
+        ):
+            yield proc.cluster.engine.timeout(params.futex_op_cost)
+            queue = self._queues.get(addr)
+            woken = 0
+            sanitizer = proc.sanitizer
+            while queue and woken < count:
+                waiter, waiter_tid = queue.popleft()
+                if sanitizer is not None:
+                    # the wake orders the waker's past before the woken
+                    # thread's future
+                    sanitizer.on_futex_wake(origin_ctx.tid, waiter_tid)
+                waiter.succeed()
+                woken += 1
+            if queue is not None and not queue:
+                del self._queues[addr]
         return woken
 
     def waiter_count(self, addr: int) -> int:

@@ -86,6 +86,9 @@ class DexProcess:
         self.name = name or f"proc{self.pid}"
         self.stats = DexStats()
         self.tracer = None  # set via attach_tracer()
+        #: the cluster's repro.obs span tracer, or None when tracing is off;
+        #: every instrumented hot path guards on this single attribute
+        self.obs = cluster.tracer
 
         self._node_states: Dict[int, NodeProcessState] = {}
         self.nodes_with_worker: Set[int] = set()

@@ -45,6 +45,7 @@ from repro.core.directory import PageEntry, make_directory
 from repro.core.errors import ProtocolError
 from repro.memory.page_table import PageState
 from repro.net.messages import Message, MsgType
+from repro.obs.tracing import maybe_span
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.fault import InFlightFault
@@ -161,14 +162,15 @@ class ConsistencyProtocol:
             return hinted
         proc.stats.hint_misses += 1
         proc.stats.home_lookups += 1
-        reply = yield from proc.cluster.net.request(
-            Message(
-                MsgType.PAGE_HOME_LOOKUP,
-                src=node,
-                dst=proc.origin,
-                payload={"pid": proc.pid, "vpn": vpn},
+        with maybe_span(proc.obs, "protocol.resolve_home", node=node, vpn=vpn):
+            reply = yield from proc.cluster.net.request(
+                Message(
+                    MsgType.PAGE_HOME_LOOKUP,
+                    src=node,
+                    dst=proc.origin,
+                    payload={"pid": proc.pid, "vpn": vpn},
+                )
             )
-        )
         home = reply.payload["home"]
         hints.insert(vpn, home)
         if proc.sanitizer is not None:
@@ -264,35 +266,39 @@ class ConsistencyProtocol:
             return result
         entry.busy = True
         try:
-            yield engine.timeout(params.protocol_handler_cost)
-            if write:
-                result = yield from self._grant_exclusive(
-                    entry, requester, known_version
-                )
-            else:
-                result = yield from self._grant_shared(
-                    entry, requester, known_version
-                )
-            if proc.sanitizer is not None:
-                # the grant is decided: the entry must satisfy MRSW right
-                # now, and the requester's copy inherits the page's causal
-                # history (it travels in-order ahead of any invalidation)
-                if proc.sanitizer.transition_checks:
-                    self.directory.check_entry(vpn, entry)
-                proc.sanitizer.on_grant(vpn, requester, write)
-            if reply_to is not None:
-                _status, state_name, version, data = result
-                yield from proc.cluster.net.send(
-                    reply_to.make_reply(
-                        MsgType.PAGE_GRANT,
-                        {
-                            "outcome": _GRANT,
-                            "state": state_name,
-                            "version": version,
-                        },
-                        page_data=data,
+            with maybe_span(
+                proc.obs, "protocol.grant",
+                node=home, vpn=vpn, write=write, requester=requester,
+            ):
+                yield engine.timeout(params.protocol_handler_cost)
+                if write:
+                    result = yield from self._grant_exclusive(
+                        entry, requester, known_version
                     )
-                )
+                else:
+                    result = yield from self._grant_shared(
+                        entry, requester, known_version
+                    )
+                if proc.sanitizer is not None:
+                    # the grant is decided: the entry must satisfy MRSW right
+                    # now, and the requester's copy inherits the page's causal
+                    # history (it travels in-order ahead of any invalidation)
+                    if proc.sanitizer.transition_checks:
+                        self.directory.check_entry(vpn, entry)
+                    proc.sanitizer.on_grant(vpn, requester, write)
+                if reply_to is not None:
+                    _status, state_name, version, data = result
+                    yield from proc.cluster.net.send(
+                        reply_to.make_reply(
+                            MsgType.PAGE_GRANT,
+                            {
+                                "outcome": _GRANT,
+                                "state": state_name,
+                                "version": version,
+                            },
+                            page_data=data,
+                        )
+                    )
         finally:
             entry.busy = False
         return result
@@ -392,6 +398,20 @@ class ConsistencyProtocol:
         *requester* is the node whose request triggered the revocation —
         shipped in the invalidation payload so owner-side traces can name
         both parties of the conflict."""
+        with maybe_span(
+            self.proc.obs, "protocol.revoke",
+            node=self.directory.home(entry.vpn), vpn=entry.vpn,
+            downgrade=downgrade, losers=len(losers),
+        ):
+            yield from self._revoke_impl(entry, losers, downgrade, requester)
+
+    def _revoke_impl(
+        self,
+        entry: PageEntry,
+        losers: List[int],
+        downgrade: bool,
+        requester: int = -1,
+    ) -> Generator:
         proc = self.proc
         engine = proc.cluster.engine
         params = proc.cluster.params
@@ -420,11 +440,14 @@ class ConsistencyProtocol:
                         "requester": requester,
                     },
                 )
-                pending.append(
-                    engine.process(
-                        proc.cluster.net.request(msg), name=f"inval:{vpn:#x}->{node}"
-                    )
+                inval_proc = engine.process(
+                    proc.cluster.net.request(msg), name=f"inval:{vpn:#x}->{node}"
                 )
+                if proc.obs is not None:
+                    # the fan-out runs as child processes; seed them with the
+                    # revoke span so their net spans stay in this trace
+                    proc.obs.carry(inval_proc)
+                pending.append(inval_proc)
             acks = yield engine.all_of(pending)
             if proc.sanitizer is not None:
                 # each ack proves the loser's accesses are complete; its

@@ -5,12 +5,23 @@ per-fault latencies (the bimodal distribution of §V-D), migration breakdowns
 (Table II / Figure 3), protocol message counts, transfer-skip hits, and the
 coherence-directory layer's routing counters (home-lookup traffic and the
 owner-hint cache hit rate under the sharded backend).
+
+:class:`DexStats` is a typed facade over a
+:class:`repro.obs.metrics.MetricsRegistry`: the scalar counters read/write
+registry :class:`Counter` objects through attribute properties (so
+``stats.faults_write += 1`` still works everywhere), the per-home and
+per-page dicts are label families, and fault latencies feed bounded
+log-bucket histograms (one per §V-D mode) so long runs cannot grow memory
+without bound — the retained :class:`FaultRecord` list is capped, but the
+histograms see **every** sample, so means/counts stay exact past the cap.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import Histogram, MetricsRegistry
 
 
 @dataclass
@@ -46,38 +57,69 @@ class FaultRecord:
     coalesced: bool  # resolved as a follower
 
 
-@dataclass
-class DexStats:
-    """Aggregated per-process statistics."""
+#: the scalar counters of the facade, with their registry help strings
+_COUNTERS: Tuple[Tuple[str, str], ...] = (
+    ("faults_read", "read page faults"),
+    ("faults_write", "write page faults"),
+    ("faults_coalesced", "faults resolved as a follower (§III-C)"),
+    ("fault_retries", "busy-retry round trips across all faults"),
+    ("pages_transferred", "page payloads that crossed the wire"),
+    ("transfers_skipped", "grants that skipped the data transfer"),
+    ("invalidations_sent", "ownership revocations sent to remote owners"),
+    ("vma_queries", "on-demand VMA sync queries (§III-D)"),
+    ("vma_shrink_broadcasts", "eager VMA shrink broadcasts"),
+    ("delegations", "operations delegated to the origin (§III-A)"),
+    ("futex_waits", "futex_wait operations at the origin"),
+    ("futex_wakes", "futex_wake operations at the origin"),
+    ("hint_hits", "owner-hint cache hits (sharded directory)"),
+    ("hint_misses", "owner-hint cache misses"),
+    ("hint_stale", "stale owner hints caught by a redirect"),
+    ("home_lookups", "home resolutions through the origin"),
+)
 
-    faults_read: int = 0
-    faults_write: int = 0
-    faults_coalesced: int = 0
-    fault_retries: int = 0
-    pages_transferred: int = 0
-    transfers_skipped: int = 0
-    invalidations_sent: int = 0
-    vma_queries: int = 0
-    vma_shrink_broadcasts: int = 0
-    delegations: int = 0
-    futex_waits: int = 0
-    futex_wakes: int = 0
-    #: owner-hint cache (sharded directory): home resolutions answered
-    #: locally vs through the origin, plus hints caught stale by a redirect
-    hint_hits: int = 0
-    hint_misses: int = 0
-    hint_stale: int = 0
-    home_lookups: int = 0
-    #: ownership requests served per directory-hosting node (who carries
-    #: the metadata load — all-origin under the origin backend)
-    directory_requests: Dict[int, int] = field(default_factory=dict)
-    #: busy-retries per page (how often each page made a requester back
-    #: off), feeding the contended_pages top-N of latency_summary()
-    busy_retries_by_page: Dict[int, int] = field(default_factory=dict)
-    migrations: List[MigrationRecord] = field(default_factory=list)
-    fault_latencies: List[FaultRecord] = field(default_factory=list)
-    #: cap on retained latency samples; counters keep counting past it
-    max_latency_samples: int = 500_000
+#: §V-D latency modes, keyed by how the fault resolved
+_MODE_FAST = "fast"
+_MODE_CONTENDED = "contended"
+_MODE_COALESCED = "coalesced"
+
+
+class DexStats:
+    """Aggregated per-process statistics (facade over a metrics registry)."""
+
+    def __init__(self, max_latency_samples: int = 500_000) -> None:
+        reg = self.registry = MetricsRegistry()
+        self._counters: Dict[str, object] = {
+            name: reg.counter(name, help) for name, help in _COUNTERS
+        }
+        #: ownership requests served per directory-hosting node (who carries
+        #: the metadata load — all-origin under the origin backend)
+        self._directory_requests = reg.counter(
+            "directory_requests",
+            "ownership requests served, by directory-hosting node",
+            labelnames=("home",),
+        )
+        #: busy-retries per page (how often each page made a requester back
+        #: off), feeding the contended_pages top-N of latency_summary()
+        self._busy_retries = reg.counter(
+            "busy_retries",
+            "busy-retry backoffs, by faulting page",
+            labelnames=("vpn",),
+        )
+        #: fault latency, split by §V-D mode; sees every sample regardless
+        #: of the retained-record cap (sub-µs start, ~sqrt(2) buckets)
+        self.fault_latency: Histogram = reg.histogram(
+            "fault_latency_us",
+            "page-fault latency by §V-D mode",
+            labelnames=("mode",),
+        )
+        self.migrations: List[MigrationRecord] = []
+        self.fault_latencies: List[FaultRecord] = []
+        #: cap on retained per-fault records; histograms keep counting past it
+        self.max_latency_samples = max_latency_samples
+        #: fault records not retained because the cap was hit
+        self.latency_samples_dropped = 0
+
+    # -- derived -----------------------------------------------------------
 
     @property
     def total_faults(self) -> int:
@@ -92,6 +134,18 @@ class DexStats:
             return None
         return self.hint_hits / total
 
+    @property
+    def directory_requests(self) -> Dict[int, int]:
+        """Per-home served-request counts, as a plain dict view."""
+        return self._directory_requests.value_by_label()
+
+    @property
+    def busy_retries_by_page(self) -> Dict[int, int]:
+        """Per-page busy-retry counts, as a plain dict view."""
+        return self._busy_retries.value_by_label()
+
+    # -- recording ----------------------------------------------------------
+
     def record_fault(self, record: FaultRecord) -> None:
         if record.write:
             self.faults_write += 1
@@ -99,15 +153,25 @@ class DexStats:
             self.faults_read += 1
         if record.coalesced:
             self.faults_coalesced += 1
+            mode = _MODE_COALESCED
+        elif record.retries > 0:
+            mode = _MODE_CONTENDED
+        else:
+            mode = _MODE_FAST
         self.fault_retries += record.retries
+        self.fault_latency.labels(mode=mode).observe(record.latency_us)
         if len(self.fault_latencies) < self.max_latency_samples:
             self.fault_latencies.append(record)
+        else:
+            self.latency_samples_dropped += 1
 
     def record_busy_retry(self, vpn: int) -> None:
-        self.busy_retries_by_page[vpn] = self.busy_retries_by_page.get(vpn, 0) + 1
+        self._busy_retries.labels(vpn=vpn).inc()
 
     def record_directory_request(self, home: int) -> None:
-        self.directory_requests[home] = self.directory_requests.get(home, 0) + 1
+        self._directory_requests.labels(home=home).inc()
+
+    # -- reporting -----------------------------------------------------------
 
     def contended_pages(self, top_n: int = 5) -> List[Tuple[int, int]]:
         """The *top_n* pages by busy-retry count, worst first — which pages
@@ -117,20 +181,48 @@ class DexStats:
         )
         return ranked[:top_n]
 
+    def fault_latency_percentile(self, p: float, mode: Optional[str] = None) -> float:
+        """Approximate fault-latency percentile (bucket resolution), over
+        all modes or one of ``"fast"``/``"contended"``/``"coalesced"``."""
+        hist = self.fault_latency if mode is None else self.fault_latency.labels(mode=mode)
+        return hist.percentile(p)
+
     def latency_summary(self, top_n: int = 5) -> Dict[str, object]:
         """Mean fault latency split by contended (retried) vs fast-path —
         the two modes of the §V-D distribution — plus the pages that caused
-        the contention."""
-        fast = [r.latency_us for r in self.fault_latencies if r.retries == 0 and not r.coalesced]
-        slow = [r.latency_us for r in self.fault_latencies if r.retries > 0]
+        the contention.  Computed from the histograms, so the means and
+        counts cover every fault even past the retained-record cap."""
+        fast = self.fault_latency.labels(mode=_MODE_FAST)
+        slow = self.fault_latency.labels(mode=_MODE_CONTENDED)
         out: Dict[str, object] = {}
-        if fast:
-            out["fast_path_mean_us"] = sum(fast) / len(fast)
-            out["fast_path_count"] = float(len(fast))
-        if slow:
-            out["contended_mean_us"] = sum(slow) / len(slow)
-            out["contended_count"] = float(len(slow))
+        if fast.count:
+            out["fast_path_mean_us"] = fast.mean
+            out["fast_path_count"] = float(fast.count)
+        if slow.count:
+            out["contended_mean_us"] = slow.mean
+            out["contended_count"] = float(slow.count)
         contended = self.contended_pages(top_n)
         if contended:
             out["contended_pages"] = contended
         return out
+
+    def report(self) -> str:
+        """Text dump of every non-zero metric (single snapshot path)."""
+        return self.registry.report()
+
+
+def _counter_property(name: str) -> property:
+    def _get(self: DexStats) -> int:
+        return self._counters[name].value
+
+    def _set(self: DexStats, value: int) -> None:
+        self._counters[name].value = value
+
+    return property(_get, _set)
+
+
+# attribute-style access to the scalar counters: `stats.faults_write += 1`
+# reads and writes the underlying registry Counter
+for _name, _help in _COUNTERS:
+    setattr(DexStats, _name, _counter_property(_name))
+del _name, _help

@@ -116,6 +116,24 @@ class ThreadContext:
         DRAM bandwidth; the effective duration is the max of the CPU time
         and the memory time, modelling a core stalled on memory.
         """
+        # compute is the hottest instrumented call site: the tracing-off
+        # path must stay a single None check, so no maybe_span() here
+        obs = self.proc.obs
+        if obs is None:
+            yield from self._compute_impl(cpu_us, mem_bytes, working_set)
+        else:
+            with obs.span(
+                "compute", node=self.thread.current_node, tid=self.tid,
+                cpu_us=cpu_us, mem_bytes=mem_bytes,
+            ):
+                yield from self._compute_impl(cpu_us, mem_bytes, working_set)
+
+    def _compute_impl(
+        self,
+        cpu_us: float,
+        mem_bytes: float,
+        working_set: Optional[float],
+    ) -> Generator:
         node = self.cluster.node(self.thread.current_node)
         engine = self.engine
         yield node.cores.acquire()

@@ -23,6 +23,7 @@ from repro.net import rdma
 from repro.net.buffers import BufferPool, RdmaSink
 from repro.net.messages import Message, MsgType
 from repro.net.verbs import Router
+from repro.obs.tracing import maybe_span
 from repro.params import SimParams
 from repro.sim import Engine, FairShareResource
 
@@ -100,6 +101,21 @@ class Network:
     def send(self, msg: Message) -> Generator:
         """Generator: sender-side cost of posting *msg*; delivery continues
         asynchronously.  Yields until the send is posted."""
+        tracer = self.engine.tracer
+        if tracer is None:
+            yield from self._send_impl(msg)
+        else:
+            with tracer.span(
+                "net.send", node=msg.src,
+                msg_type=msg.msg_type.value, dst=msg.dst,
+            ):
+                # stamp the trace context onto the wire header (no-op if the
+                # caller already did); the receiver's router parents its
+                # handler span on it
+                tracer.inject(msg)
+                yield from self._send_impl(msg)
+
+    def _send_impl(self, msg: Message) -> Generator:
         conn = self.connection(msg.src, msg.dst)
         params = self.params
         self.messages_sent += 1
@@ -117,10 +133,13 @@ class Network:
         predecessor = conn._delivery_tail
         delivered = self.engine.event(name=f"delivered#{msg.msg_id}")
         conn._delivery_tail = delivered
-        self.engine.process(
+        wire_proc = self.engine.process(
             self._wire(conn, msg, wire_bytes, predecessor, delivered),
             name=f"wire#{msg.msg_id}",
         )
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.carry(wire_proc)
 
     def post(self, msg: Message):
         """Fire-and-forget send, run as its own process."""
@@ -129,15 +148,28 @@ class Network:
     def request(self, msg: Message) -> Generator:
         """Generator: send *msg* and wait for the correlated reply message.
         Returns the reply."""
-        reply_event = self.routers[msg.src].expect_reply(msg.msg_id)
-        yield from self.send(msg)
-        reply = yield reply_event
+        with maybe_span(
+            self.engine.tracer, "net.request", node=msg.src,
+            msg_type=msg.msg_type.value, dst=msg.dst,
+        ):
+            reply_event = self.routers[msg.src].expect_reply(msg.msg_id)
+            yield from self.send(msg)
+            reply = yield reply_event
         return reply
 
     def _wire(
         self, conn: Connection, msg: Message, wire_bytes: int, predecessor, delivered
     ) -> Generator:
         """Transmission + receiver side, as an asynchronous process."""
+        with maybe_span(
+            self.engine.tracer, "net.wire", node=conn.src,
+            msg_type=msg.msg_type.value, dst=conn.dst, bytes=wire_bytes,
+        ):
+            yield from self._wire_impl(conn, msg, wire_bytes, predecessor, delivered)
+
+    def _wire_impl(
+        self, conn: Connection, msg: Message, wire_bytes: int, predecessor, delivered
+    ) -> Generator:
         params = self.params
         # serialize onto the link under fair sharing with concurrent sends
         yield self.nics[conn.src].tx.consume(wire_bytes, tag=msg.msg_type)

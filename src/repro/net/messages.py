@@ -95,6 +95,12 @@ class Message:
     page_data: Optional[bytes] = None
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
     reply_to: Optional[int] = None
+    #: causal-trace context (repro.obs), stamped by the fabric at send time
+    #: when tracing is on.  These are the ONLY sanctioned carriers of trace
+    #: ids between nodes (the span-discipline lint enforces it); they model
+    #: reserved header bytes, so they don't count toward CONTROL_SIZES.
+    trace_id: Optional[int] = None
+    parent_span: Optional[int] = None
 
     @property
     def control_bytes(self) -> int:

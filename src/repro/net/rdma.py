@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator
 
+from repro.obs.tracing import maybe_span
 from repro.params import SimParams
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -27,6 +28,14 @@ if TYPE_CHECKING:  # pragma: no cover
 
 def sender_data_cost(conn: "Connection", nbytes: int) -> Generator:
     """Sender-side preparation for *nbytes* of page data (before the wire)."""
+    with maybe_span(
+        conn.engine.tracer, "net.rdma_write", node=conn.src,
+        bytes=nbytes, mode=conn.params.page_transfer_mode,
+    ):
+        yield from _sender_data_cost(conn, nbytes)
+
+
+def _sender_data_cost(conn: "Connection", nbytes: int) -> Generator:
     params: SimParams = conn.params
     mode = params.page_transfer_mode
     engine = conn.engine
@@ -46,6 +55,14 @@ def sender_data_cost(conn: "Connection", nbytes: int) -> Generator:
 
 def receiver_data_cost(conn: "Connection", nbytes: int) -> Generator:
     """Receiver-side handling of *nbytes* of page data (after the wire)."""
+    with maybe_span(
+        conn.engine.tracer, "net.rdma_recv", node=conn.dst,
+        bytes=nbytes, mode=conn.params.page_transfer_mode,
+    ):
+        yield from _receiver_data_cost(conn, nbytes)
+
+
+def _receiver_data_cost(conn: "Connection", nbytes: int) -> Generator:
     params: SimParams = conn.params
     mode = params.page_transfer_mode
     engine = conn.engine

@@ -76,6 +76,17 @@ class Router:
         proc = self.engine.process(
             handler(msg), name=f"n{self.node_id}.{msg.msg_type.value}"
         )
+        tracer = self.engine.tracer
+        if tracer is not None:
+            # open the handler's root span, parented on the trace context the
+            # sender stamped into the message header; it closes when the
+            # handler process finishes (engine hook), so one fault renders as
+            # a single tree across requester, home, and victim nodes
+            tracer.adopt(
+                proc, f"rx.{msg.msg_type.value}",
+                trace_id=msg.trace_id, parent_id=msg.parent_span,
+                node=self.node_id, src=msg.src,
+            )
         proc.add_callback(self._check_handler)
 
     def _check_handler(self, proc) -> None:

@@ -1,0 +1,59 @@
+"""DexTrace: the observability layer (causal span tracing, typed metrics,
+Perfetto export).
+
+Three parts:
+
+* :mod:`repro.obs.tracing` — :class:`Tracer`/:class:`Span`: causally-linked
+  span trees over the simulation, following requests across nodes via
+  message-carried trace ids.
+* :mod:`repro.obs.metrics` — :class:`Counter`/:class:`Gauge`/:class:`Histogram`
+  and :class:`MetricsRegistry`; ``DexStats`` is a typed facade over one.
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto), terminal
+  reports, per-phase attribution.
+
+Enable tracing with ``DexCluster(trace=True)`` / ``SimParams(trace="1")`` or
+the ``DEX_TRACE`` environment variable; when off, no tracer object exists
+and the instrumented hot paths reduce to a ``None`` check.
+
+CLI: ``python -m repro.obs run|report|export`` (see ``--help``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import NULL_SPAN, Span, Tracer, load_spans, maybe_span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "load_spans",
+    "maybe_span",
+    "resolve_trace_mode",
+]
+
+_OFF = frozenset({"", "0", "off", "none", "false", "no"})
+_ON = frozenset({"1", "all", "on", "true", "yes", "spans"})
+
+
+def resolve_trace_mode(setting: Optional[str]) -> str:
+    """Normalize a ``SimParams.trace`` setting to ``""`` (off) or ``"spans"``
+    (on).  ``None`` defers to the ``DEX_TRACE`` environment variable — the
+    same deferral scheme as ``SimParams.sanitize``/``DEX_SANITIZE``."""
+    if setting is None:
+        setting = os.environ.get("DEX_TRACE", "")
+    mode = str(setting).strip().lower()
+    if mode in _OFF:
+        return ""
+    if mode in _ON:
+        return "spans"
+    raise ValueError(
+        f"unknown trace mode {setting!r}; expected one of '', '1'/'on'/'spans'"
+    )

@@ -1,0 +1,284 @@
+"""DexTrace command line: run traced simulations, report, and export.
+
+Subcommands::
+
+    python -m repro.obs run    --app kmeans --nodes 4 --out spans.json
+    python -m repro.obs report --input spans.json
+    python -m repro.obs report --app BFS --nodes 8
+    python -m repro.obs export --app kmeans --nodes 4 --out trace.json
+
+``run`` saves the raw span log (``dextrace-spans-v1`` JSON), ``report``
+prints the terminal timeline / top-spans / per-phase attribution views,
+and ``export`` writes Chrome trace-event JSON for ui.perfetto.dev.
+
+``--app`` takes a Figure 2 short name (KMN, GRP, BT, EP, FT, BLK, BFS,
+BP), a long alias (``kmeans``, ``blackscholes``, ...), or ``pagefault`` —
+a built-in 2-node atomic-add ping-pong microbenchmark (§V-D) that needs
+no application workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import tracing
+from repro.obs.export import (
+    check_all_traces,
+    cross_node_traces,
+    phase_totals,
+    render_attribution,
+    render_timeline,
+    render_top_spans,
+    write_chrome_trace,
+)
+from repro.obs.tracing import Span, load_spans
+
+#: long-form aliases for the Figure 2 short names
+_ALIASES: Dict[str, str] = {
+    "string_match": "GRP", "string-match": "GRP", "grep": "GRP",
+    "kmeans": "KMN",
+    "blackscholes": "BLK",
+    "bfs": "BFS",
+    "bp": "BP",
+    "bt": "BT", "ep": "EP", "ft": "FT",
+}
+
+
+def _resolve_app(name: str) -> str:
+    return _ALIASES.get(name.lower(), name.upper())
+
+
+def _parse_value(text: str) -> Any:
+    """``--app-arg`` values: literal where possible, string otherwise."""
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _overrides(pairs: Sequence[str]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--app-arg expects key=value, got {pair!r}")
+        key, _, value = pair.partition("=")
+        out[key] = _parse_value(value)
+    return out
+
+
+def _run_pagefault(ns: argparse.Namespace):
+    """The §V-D microbenchmark: two threads on two nodes ping-ponging one
+    atomic counter.  Built here (not via repro.bench.experiments) so the
+    CLI holds the cluster and can read its tracer directly."""
+    from repro.core import DexCluster
+    from repro.params import SimParams
+    from repro.runtime import MemoryAllocator
+
+    params = SimParams(trace="1", directory=ns.directory)
+    cluster = DexCluster(num_nodes=2, params=params)
+    proc = cluster.create_process()
+    alloc = MemoryAllocator(proc)
+    var = alloc.alloc_global(8, tag="shared_var")
+    duration = ns.duration_us
+
+    def hammer(ctx, dest):
+        count = 0
+        if dest is not None:
+            yield from ctx.migrate(dest)
+        while ctx.now < duration:
+            yield from ctx.atomic_add_i64(var, 1, site="hammer")
+            yield from ctx.compute(cpu_us=0.1)
+            count += 1
+        return count
+
+    t1 = proc.spawn_thread(hammer, None)
+    t2 = proc.spawn_thread(hammer, 1)
+
+    def main(ctx):
+        yield from proc.join_all([t1, t2])
+
+    cluster.simulate(main, proc)
+    tracer = cluster.tracer
+    assert tracer is not None
+    return tracer, proc.stats, f"pagefault micro ({duration:.0f}us)"
+
+
+def _run_app(ns: argparse.Namespace):
+    """One traced application run; recovers the tracer the app's internal
+    DexCluster created."""
+    from repro.bench.runner import run_point
+    from repro.params import SimParams
+
+    app = _resolve_app(ns.app)
+    params = SimParams(trace="1", directory=ns.directory)
+    tracing.reset_recent()
+    result = run_point(
+        app, ns.variant, ns.nodes, ns.scale,
+        params=params, **_overrides(ns.app_arg),
+    )
+    tracers = tracing.recent_tracers()
+    if not tracers:
+        raise SystemExit(f"{app}: run produced no tracer (tracing disabled?)")
+    tracer = max(tracers, key=lambda t: len(t.spans))
+    label = (
+        f"{app} {ns.variant} nodes={ns.nodes} scale={ns.scale}"
+        f" elapsed={result.elapsed_us:.0f}us correct={result.correct}"
+    )
+    return tracer, result.stats, label
+
+
+def _run_traced(ns: argparse.Namespace):
+    if _resolve_app(ns.app) == "PAGEFAULT":
+        return _run_pagefault(ns)
+    return _run_app(ns)
+
+
+def _load_or_run(ns: argparse.Namespace) -> Tuple[List[Span], int, Any, str]:
+    """(spans, dropped, stats-or-None, label) from --input or a fresh run."""
+    if ns.input:
+        spans, meta = load_spans(ns.input)
+        return spans, int(meta.get("dropped", 0)), None, ns.input
+    tracer, stats, label = _run_traced(ns)
+    return tracer.spans, tracer.dropped, stats, label
+
+
+# -- acceptance-style checks printed by report/export --------------------------
+
+
+def _fault_tree_line(spans: Sequence[Span]) -> str:
+    """The ISSUE acceptance check: one *connected* contended-write-fault
+    tree crossing >= 3 nodes (requester -> home -> revoked victim)."""
+    candidates = [
+        r for r in cross_node_traces(spans, min_nodes=3)
+        if any(s.name == "rx.page_invalidate" for s in r.spans)
+        and any(s.name == "fault" and s.attrs.get("write") for s in r.spans)
+    ]
+    if candidates:
+        best = max(candidates, key=lambda r: len(r.nodes))
+        return f"contended write-fault tree: {best.format()}"
+    connected = [r for r in check_all_traces(spans) if r.connected]
+    widest = max((len(r.nodes) for r in connected), default=0)
+    return (
+        "contended write-fault tree: none crossing >=3 nodes "
+        f"(widest connected trace touches {widest} node(s) — expected for "
+        "<3-node runs or uncontended workloads)"
+    )
+
+
+def _migration_agreement_line(spans: Sequence[Span], stats) -> Optional[str]:
+    """Attributed migration time must agree with the MigrationRecord log
+    (Table II ground truth) within 1%."""
+    if stats is None or not stats.migrations:
+        return None
+    expected = sum(r.total_us for r in stats.migrations)
+    attributed = phase_totals(spans)["migration"]
+    if expected <= 0:
+        return None
+    err = abs(attributed - expected) / expected
+    status = "OK" if err <= 0.01 else "MISMATCH"
+    return (
+        f"migration attribution: {status} ({attributed:.1f}us attributed vs "
+        f"{expected:.1f}us in {len(stats.migrations)} migration records, "
+        f"err {err * 100:.2f}%)"
+    )
+
+
+def _summary(spans: Sequence[Span], dropped: int, label: str) -> str:
+    line = f"{label}: {len(spans)} spans"
+    if dropped:
+        line += f" (INCOMPLETE: {dropped} spans dropped past max_spans)"
+    return line
+
+
+# -- subcommands ---------------------------------------------------------------
+
+
+def cmd_run(ns: argparse.Namespace) -> int:
+    tracer, stats, label = _run_traced(ns)
+    out = ns.out or "dex-spans.json"
+    tracer.save_json(out)
+    print(_summary(tracer.spans, tracer.dropped, label))
+    print(f"wrote span log to {out}")
+    return 0
+
+
+def cmd_report(ns: argparse.Namespace) -> int:
+    spans, dropped, stats, label = _load_or_run(ns)
+    print(_summary(spans, dropped, label))
+    print()
+    print(render_timeline(spans, limit=ns.limit))
+    print()
+    print(render_top_spans(spans))
+    print()
+    print(render_attribution(spans))
+    print()
+    print(_fault_tree_line(spans))
+    agreement = _migration_agreement_line(spans, stats)
+    if agreement:
+        print(agreement)
+    return 0
+
+
+def cmd_export(ns: argparse.Namespace) -> int:
+    spans, dropped, stats, label = _load_or_run(ns)
+    out = ns.out or "dextrace.json"
+    count = write_chrome_trace(out, spans, dropped=dropped)
+    print(_summary(spans, dropped, label))
+    print(f"wrote {count} trace events to {out} (open at ui.perfetto.dev)")
+    print(_fault_tree_line(spans))
+    agreement = _migration_agreement_line(spans, stats)
+    if agreement:
+        print(agreement)
+    return 0
+
+
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--app", default="kmeans",
+                   help="app short name, alias, or 'pagefault' (default kmeans)")
+    p.add_argument("--variant", default="initial",
+                   choices=("unmodified", "initial", "optimized"))
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--scale", default="small", choices=("small", "paper"))
+    p.add_argument("--directory", default="origin",
+                   choices=("origin", "sharded"),
+                   help="coherence-directory backend")
+    p.add_argument("--duration-us", type=float, default=20_000.0,
+                   help="pagefault micro duration (ignored for apps)")
+    p.add_argument("--app-arg", action="append", default=[],
+                   metavar="KEY=VALUE", help="workload override (repeatable)")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="DexTrace: run traced simulations, report, export.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run traced, save the raw span log")
+    _add_workload_args(p_run)
+    p_run.add_argument("--out", help="span-log path (default dex-spans.json)")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_report = sub.add_parser("report", help="terminal timeline/attribution")
+    _add_workload_args(p_report)
+    p_report.add_argument("--input", help="saved span log instead of a run")
+    p_report.add_argument("--limit", type=int, default=40,
+                          help="timeline rows (default 40)")
+    p_report.set_defaults(fn=cmd_report)
+
+    p_export = sub.add_parser("export", help="Chrome trace JSON for Perfetto")
+    _add_workload_args(p_export)
+    p_export.add_argument("--input", help="saved span log instead of a run")
+    p_export.add_argument("--out", help="output path (default dextrace.json)")
+    p_export.set_defaults(fn=cmd_export)
+
+    ns = parser.parse_args(argv)
+    return ns.fn(ns)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -141,6 +141,14 @@ class SimParams:
     #: touching every SimParams construction).
     sanitize: Optional[str] = None
 
+    # ---- observability (see repro.obs) -----------------------------------
+    #: causal span tracing: "" off, "1"/"spans" on.  None defers to the
+    #: DEX_TRACE environment variable (same scheme as `sanitize`); when off
+    #: no tracer exists and instrumented paths reduce to a None check
+    trace: Optional[str] = None
+    #: span-recording cap per tracer; further spans are counted as dropped
+    trace_max_spans: int = 1_000_000
+
     # ---- feature switches (for ablations) ---------------------------------
     #: leader-follower coalescing of concurrent same-page faults (§III-C)
     enable_fault_coalescing: bool = True

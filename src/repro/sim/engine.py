@@ -166,6 +166,9 @@ class Process(Event):
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
         if self._done:
             return
+        engine = self.engine
+        prev = engine.current_process
+        engine.current_process = self
         try:
             if self._interrupts:
                 target = self.generator.throw(self._interrupts.pop(0))
@@ -181,6 +184,8 @@ class Process(Event):
                 raise
             self.fail(err)
             return
+        finally:
+            engine.current_process = prev
         if not isinstance(target, Event):
             self.fail(
                 SimulationError(
@@ -249,6 +254,12 @@ class Engine:
         #: observers of process lifecycle (see :meth:`add_hook`); empty in
         #: normal runs, so every hook site is one falsy check
         self.hooks: List[Any] = []
+        #: the Process whose generator is currently executing (None between
+        #: steps); the repro.obs tracer keys span stacks by this
+        self.current_process: Optional[Any] = None
+        #: the repro.obs Tracer attached to this engine, or None (tracing
+        #: off); instrumented code guards on this single attribute
+        self.tracer: Optional[Any] = None
 
     def add_hook(self, hook: Any) -> None:
         """Register a process-lifecycle observer.  A hook may implement

@@ -51,6 +51,9 @@ class TraceAnalysis:
     def __init__(self, tracer: FaultTracer, page_size: int = 4096):
         self.events = list(tracer)
         self.page_size = page_size
+        #: events the tracer had to drop past its max_events cap — surfaced
+        #: in the report header so a truncated trace can't pass as complete
+        self.dropped = getattr(tracer, "dropped", 0)
 
     # -- hot spots ---------------------------------------------------------
 
@@ -144,7 +147,13 @@ class TraceAnalysis:
 
     def report(self, top: int = 5) -> str:
         """A human-readable summary, like the paper's tool output."""
-        lines = [f"fault trace: {len(self.events)} events"]
+        header = f"fault trace: {len(self.events)} events"
+        if self.dropped:
+            header += (
+                f" (INCOMPLETE: {self.dropped} more dropped past the "
+                "tracer's max_events cap)"
+            )
+        lines = [header]
         lines.append("hottest sites:")
         for site, count in self.hottest_sites(top):
             lines.append(f"  {count:8d}  {site}")

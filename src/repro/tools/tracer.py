@@ -17,6 +17,7 @@ string), and the user identifier is the tag of the VMA the fault landed in.
 from __future__ import annotations
 
 import csv
+import warnings
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional
 
@@ -60,6 +61,16 @@ class FaultTracer:
     ) -> None:
         if len(self.events) >= self.max_events:
             self.dropped += 1
+            if self.dropped == 1:
+                # warn once: silently truncated traces used to masquerade
+                # as complete ones in the analysis reports
+                warnings.warn(
+                    f"FaultTracer hit max_events={self.max_events}; "
+                    "further fault events are being dropped "
+                    "(see `dropped` and the analysis report header)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             return
         self.events.append(
             FaultEvent(time_us, node, tid, fault_type, site, addr, tag, src_node)

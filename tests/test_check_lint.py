@@ -22,6 +22,7 @@ def test_rule_registry_is_complete():
         "directory-encapsulation",
         "sim-nondeterminism",
         "yield-discipline",
+        "span-discipline",
     )
 
 
@@ -60,6 +61,34 @@ def test_yield_discipline_fixture():
     assert rules_of(violations) == ["yield-discipline"]
     shown = {v.message.split(":")[0] for v in violations}
     assert shown == {"bare yield", "yield 5"}
+
+
+def test_span_discipline_fixture():
+    violations = lint_paths([FIXTURES / "fixture_span_discipline.py"])
+    assert rules_of(violations) == ["span-discipline"]
+    messages = " | ".join(v.message for v in violations)
+    # both un-with'd open forms flagged ...
+    assert "'tracer.span(...)'" in messages
+    assert "'maybe_span(...)'" in messages
+    # ... and all three smuggled-id dict keys
+    for key in ("trace_id", "parent_span", "span_id"):
+        assert f"dict key {key!r}" in messages
+    assert len(violations) == 5  # the sanctioned with-forms are not flagged
+
+
+def test_span_discipline_repo_mode_exempts_obs():
+    obs_dir = FIXTURES / "obs"
+    obs_dir.mkdir(exist_ok=True)
+    fixture = obs_dir / "machinery.py"
+    fixture.write_text(
+        "def serialize(s):\n    return {'trace_id': s.trace_id}\n"
+    )
+    try:
+        assert rules_of(lint_paths([fixture])) == ["span-discipline"]
+        assert lint_paths([fixture], repo_mode=True) == []
+    finally:
+        fixture.unlink()
+        obs_dir.rmdir()
 
 
 def test_repo_mode_exempts_offline_tooling():

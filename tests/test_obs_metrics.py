@@ -1,0 +1,210 @@
+"""The metrics registry and the DexStats facade over it."""
+
+import pytest
+
+from repro.core.stats import DexStats, FaultRecord
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+# -- Counter / Gauge -----------------------------------------------------------
+
+
+def test_counter_basics():
+    c = Counter("faults")
+    assert c.value == 0
+    c.inc()
+    c.inc(4)
+    assert c.value == 5 == c.total()
+    assert c.snapshot() == 5
+
+
+def test_counter_labels_aggregate():
+    c = Counter("requests", labelnames=("home",))
+    c.labels(home=0).inc(3)
+    c.labels(home=2).inc()
+    c.labels(home=0).inc()
+    assert c.value_by_label() == {0: 4, 2: 1}
+    assert c.total() == 5
+    assert c.snapshot() == {"total": 5, "by_label": {0: 4, 2: 1}}
+
+
+def test_counter_label_errors():
+    plain = Counter("plain")
+    with pytest.raises(ValueError):
+        plain.labels(home=0)
+    fam = Counter("fam", labelnames=("home",))
+    with pytest.raises(ValueError):
+        fam.labels(wrong=1)
+
+
+def test_gauge():
+    g = Gauge("depth")
+    g.set(7)
+    g.inc(2)
+    g.dec()
+    assert g.value == 8
+
+
+# -- Histogram -----------------------------------------------------------------
+
+
+def test_histogram_exact_moments():
+    h = Histogram("lat")
+    samples = [0.3, 1.0, 2.5, 13.6, 812.1, 0.05]
+    for s in samples:
+        h.observe(s)
+    assert h.count == len(samples)
+    assert h.sum == pytest.approx(sum(samples))
+    assert h.min == min(samples)
+    assert h.max == max(samples)
+    assert h.mean == pytest.approx(sum(samples) / len(samples))
+
+
+def test_histogram_bucket_boundaries():
+    h = Histogram("b", start=1.0, factor=2.0, nbuckets=3)  # bounds 1, 2, 4
+    h.observe(1.0)    # on the first bound -> bucket 0
+    h.observe(1.5)    # (1, 2] -> bucket 1
+    h.observe(-3.0)   # non-positive -> bucket 0
+    h.observe(100.0)  # past the last bound -> overflow bucket
+    assert h.counts == [2, 1, 0, 1]
+
+
+def test_histogram_percentiles_ordered_and_clamped():
+    h = Histogram("p")
+    for v in (1.0, 2.0, 3.0, 4.0, 100.0):
+        h.observe(v)
+    p50, p90, p99 = h.percentile(50), h.percentile(90), h.percentile(99)
+    assert h.min <= p50 <= p90 <= p99 <= h.max
+    single = Histogram("s")
+    single.observe(42.0)
+    for p in (0, 50, 100):
+        assert single.percentile(p) == 42.0  # clamped to exact [min, max]
+    assert Histogram("empty").percentile(99) == 0.0
+
+
+def test_histogram_labels_merge():
+    h = Histogram("modes", labelnames=("mode",))
+    h.labels(mode="fast").observe(1.0)
+    h.labels(mode="slow").observe(100.0)
+    snap = h.snapshot()
+    assert snap["count"] == 2
+    assert snap["min"] == 1.0 and snap["max"] == 100.0
+    assert h.labels(mode="fast").count == 1
+
+
+# -- registry ------------------------------------------------------------------
+
+
+def test_registry_idempotent_registration():
+    reg = MetricsRegistry()
+    a = reg.counter("x", "help")
+    b = reg.counter("x")
+    assert a is b
+    assert "x" in reg and "y" not in reg
+
+
+def test_registry_kind_mismatch_rejected():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(ValueError, match="already registered"):
+        reg.histogram("x")
+
+
+def test_registry_snapshot_and_report():
+    reg = MetricsRegistry()
+    reg.counter("zero")
+    reg.counter("hits").inc(3)
+    reg.histogram("lat").observe(5.0)
+    reg.counter("fam", labelnames=("node",)).labels(node=1).inc(2)
+    snap = reg.snapshot()
+    assert snap["hits"] == 3 and snap["zero"] == 0
+    assert snap["lat"]["count"] == 1
+    text = reg.report()
+    assert "hits" in text and "lat" in text and "fam" in text
+    assert "zero" not in text  # skip_zero default
+    assert "zero" in reg.report(skip_zero=False)
+
+
+# -- the DexStats facade -------------------------------------------------------
+
+
+def _record(latency, retries=0, coalesced=False, write=True, vpn=1):
+    return FaultRecord(vpn=vpn, node=1, write=write, latency_us=latency,
+                       retries=retries, coalesced=coalesced)
+
+
+def test_stats_attribute_counters_are_registry_backed():
+    s = DexStats()
+    s.faults_write += 2
+    s.delegations += 1
+    assert s.faults_write == 2
+    assert s.registry.get("faults_write").value == 2
+    assert s.registry.get("delegations").value == 1
+    assert s.total_faults == 2
+    assert "faults_write" in s.report()
+
+
+def test_stats_latency_summary_matches_list_reference():
+    s = DexStats()
+    fast = [10.0, 12.5, 9.75, 11.0]
+    slow = [150.0, 812.1, 236.6]
+    for v in fast:
+        s.record_fault(_record(v))
+    for v in slow:
+        s.record_fault(_record(v, retries=2))
+    s.record_fault(_record(5.0, coalesced=True))
+    summary = s.latency_summary()
+    assert summary["fast_path_count"] == len(fast)
+    assert summary["contended_count"] == len(slow)
+    # the histogram accumulates in the same order the list would, so the
+    # means agree to float precision
+    assert summary["fast_path_mean_us"] == pytest.approx(
+        sum(fast) / len(fast), rel=1e-12)
+    assert summary["contended_mean_us"] == pytest.approx(
+        sum(slow) / len(slow), rel=1e-12)
+
+
+def test_stats_histograms_count_past_the_record_cap():
+    s = DexStats(max_latency_samples=10)
+    for i in range(25):
+        s.record_fault(_record(float(i + 1)))
+    assert len(s.fault_latencies) == 10        # retained records capped ...
+    assert s.latency_samples_dropped == 15
+    assert s.fault_latency.snapshot()["count"] == 25  # ... histogram is not
+    summary = s.latency_summary()
+    assert summary["fast_path_count"] == 25
+    assert summary["fast_path_mean_us"] == pytest.approx(13.0)
+    assert s.faults_write == 25
+
+
+def test_stats_mode_split_and_percentiles():
+    s = DexStats()
+    s.record_fault(_record(10.0))
+    s.record_fault(_record(500.0, retries=3))
+    assert s.fault_retries == 3
+    assert s.faults_coalesced == 0
+    p_fast = s.fault_latency_percentile(50, mode="fast")
+    p_all = s.fault_latency_percentile(99)
+    assert p_fast == pytest.approx(10.0)
+    assert p_all >= p_fast
+
+
+def test_stats_label_family_views():
+    s = DexStats()
+    s.record_directory_request(home=0)
+    s.record_directory_request(home=0)
+    s.record_directory_request(home=3)
+    assert s.directory_requests == {0: 2, 3: 1}
+    for _ in range(3):
+        s.record_busy_retry(vpn=7)
+    s.record_busy_retry(vpn=9)
+    assert s.busy_retries_by_page == {7: 3, 9: 1}
+    assert s.contended_pages(top_n=1) == [(7, 3)]
+
+
+def test_stats_hint_hit_rate():
+    s = DexStats()
+    assert s.hint_hit_rate is None
+    s.hint_hits += 3
+    s.hint_misses += 1
+    assert s.hint_hit_rate == pytest.approx(0.75)

@@ -1,0 +1,107 @@
+"""The tracing-off zero-cost guarantee, guarded three ways:
+
+1. structurally — with ``DEX_TRACE`` unset no tracer object exists, hot
+   paths see ``proc.obs is None``, the engine runs with empty hooks, and
+   messages carry no trace context;
+2. semantically — tracing on/off yields bit-identical simulated time and
+   fault counts (instrumentation must never perturb the model);
+3. a microbound — the entire per-fault off-mode cost (a generous
+   over-count of guard evaluations times the measured cost of one guard)
+   must stay under 3% of the measured per-fault wall time.
+
+CI's ``check`` job runs this file explicitly with ``DEX_TRACE`` unset.
+"""
+
+import timeit
+from time import perf_counter
+
+import pytest
+
+from repro import DexCluster, SimParams
+from repro.net.messages import Message, MsgType
+from repro.runtime import MemoryAllocator
+
+#: generous over-estimate of instrumented guard sites evaluated per fault
+#: (fault + acquire + request/send/wire/rdma legs + grant + revoke + rx
+#: adoption + the surrounding compute calls)
+GUARDS_PER_FAULT = 64
+
+
+def _run_workload(trace):
+    """A contended 2-node ping-pong; sanitize off explicitly so the check
+    matrix's DEX_SANITIZE=1 cannot add hooks of its own."""
+    cluster = DexCluster(
+        num_nodes=2, params=SimParams(trace=trace, sanitize=""))
+    proc = cluster.create_process()
+    alloc = MemoryAllocator(proc)
+    var = alloc.alloc_global(8, tag="hot")
+
+    def hammer(ctx, dest, rounds):
+        if dest is not None:
+            yield from ctx.migrate(dest)
+        for _ in range(rounds):
+            yield from ctx.atomic_add_i64(var, 1, site="h")
+            yield from ctx.compute(cpu_us=0.5)
+
+    t1 = proc.spawn_thread(hammer, None, 40)
+    t2 = proc.spawn_thread(hammer, 1, 40)
+
+    def main(ctx):
+        yield from proc.join_all([t1, t2])
+
+    cluster.simulate(main, proc)
+    return cluster, proc
+
+
+def test_off_mode_is_structurally_zero_cost(monkeypatch):
+    monkeypatch.delenv("DEX_TRACE", raising=False)
+    cluster, proc = _run_workload(trace=None)  # None defers to the env
+    assert cluster.tracer is None
+    assert cluster.engine.tracer is None
+    assert proc.obs is None
+    assert cluster.engine.hooks == []  # nothing on the per-step hot path
+    # messages default to carrying no trace context
+    msg = Message(MsgType.PAGE_REQUEST, src=0, dst=1)
+    assert msg.trace_id is None and msg.parent_span is None
+
+
+def test_trace_knob_resolution(monkeypatch):
+    monkeypatch.delenv("DEX_TRACE", raising=False)
+    assert DexCluster(num_nodes=2, params=SimParams(trace="")).tracer is None
+    assert DexCluster(num_nodes=2, params=SimParams(trace="1")).tracer is not None
+    monkeypatch.setenv("DEX_TRACE", "1")
+    assert DexCluster(num_nodes=2).tracer is not None
+    monkeypatch.setenv("DEX_TRACE", "0")
+    assert DexCluster(num_nodes=2).tracer is None
+    with pytest.raises(ValueError):
+        DexCluster(num_nodes=2, params=SimParams(trace="bogus"))
+
+
+def test_tracing_does_not_perturb_the_simulation():
+    off_cluster, off_proc = _run_workload(trace="")
+    on_cluster, on_proc = _run_workload(trace="1")
+    assert on_cluster.engine.now == off_cluster.engine.now  # bit-identical
+    assert on_proc.stats.total_faults == off_proc.stats.total_faults
+    assert on_proc.stats.fault_retries == off_proc.stats.fault_retries
+    assert on_cluster.tracer.spans and off_cluster.tracer is None
+
+
+def test_off_mode_guard_cost_within_three_percent(monkeypatch):
+    monkeypatch.delenv("DEX_TRACE", raising=False)
+    start = perf_counter()
+    _, proc = _run_workload(trace=None)
+    wall = perf_counter() - start
+    faults = proc.stats.total_faults
+    assert faults > 0
+    per_fault_wall = wall / faults
+    # the off-mode cost per instrumented site is one attribute load plus a
+    # None check; measure the real primitive on the real object
+    n = 20_000
+    guard_cost = min(
+        timeit.repeat(lambda: proc.obs is None, number=n, repeat=5)
+    ) / n
+    assert guard_cost * GUARDS_PER_FAULT <= 0.03 * per_fault_wall, (
+        f"off-mode guards cost {guard_cost * GUARDS_PER_FAULT * 1e6:.2f}us "
+        f"per fault, over 3% of the {per_fault_wall * 1e6:.1f}us per-fault "
+        f"wall time"
+    )

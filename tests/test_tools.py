@@ -1,6 +1,7 @@
 """Tests for the profiling toolchain (§IV)."""
 
 import numpy as np
+import pytest
 
 from repro.runtime import MemoryAllocator
 from repro.runtime.array import alloc_array
@@ -118,7 +119,12 @@ def test_csv_roundtrip(tmp_path):
 
 def test_tracer_caps_events():
     tracer = FaultTracer(max_events=2)
-    for i in range(5):
+    tracer.record(0.0, 0, 0, "read", "s", 0)
+    tracer.record(1.0, 0, 0, "read", "s", 4096)
+    # the first drop warns (once); further drops are silent
+    with pytest.warns(RuntimeWarning, match="max_events=2"):
+        tracer.record(2.0, 0, 0, "read", "s", 8192)
+    for i in range(3, 5):
         tracer.record(float(i), 0, 0, "read", "s", i * 4096)
     assert len(tracer) == 2
     assert tracer.dropped == 3
