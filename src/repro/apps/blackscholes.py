@@ -23,6 +23,7 @@ from repro.apps.common import (
     fresh_process,
     plan_nodes,
     run_workers,
+    workload_seed,
 )
 from repro.params import SimParams
 from repro.runtime.array import DistArray, alloc_array
@@ -87,10 +88,11 @@ def run(
     n_options: int = 400_000,
     params: Optional[SimParams] = None,
     tracer=None,
-    seed: int = 13,
+    seed: Optional[int] = None,
 ) -> AppResult:
     """Run BLK; output is the option price vector."""
     check_variant(variant)
+    seed = workload_seed(params, 13) if seed is None else seed
     cluster, proc, alloc = fresh_process(num_nodes, params)
     if tracer is not None:
         proc.attach_tracer(tracer)

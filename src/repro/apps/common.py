@@ -48,6 +48,18 @@ class AppResult:
         return 1.0 / self.elapsed_us if self.elapsed_us > 0 else float("inf")
 
 
+def workload_seed(params: Optional[SimParams], default: int) -> int:
+    """Resolve an app's workload-generation seed.
+
+    ``SimParams.seed`` wins when the caller pinned one (so a single knob
+    reproduces the whole run: engine event order, chaos schedule, *and*
+    input data); otherwise the app's calibrated historical default is used,
+    keeping existing timings bit-identical when no seed is requested."""
+    if params is not None and params.seed is not None:
+        return params.seed
+    return default
+
+
 def check_variant(variant: str) -> str:
     if variant not in VARIANTS:
         raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")

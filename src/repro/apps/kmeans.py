@@ -28,6 +28,7 @@ from repro.apps.common import (
     fresh_process,
     plan_nodes,
     run_workers,
+    workload_seed,
 )
 from repro.params import SimParams
 from repro.runtime import Barrier
@@ -82,12 +83,13 @@ def run(
     max_iters: int = 3,
     params: Optional[SimParams] = None,
     tracer=None,
-    seed: int = 11,
+    seed: Optional[int] = None,
 ) -> AppResult:
     """Run KMN; output is the final centroids, checked against the
     reference run with ``np.allclose`` (parallel reduction reorders float
     additions)."""
     check_variant(variant)
+    seed = workload_seed(params, 11) if seed is None else seed
     cluster, proc, alloc = fresh_process(num_nodes, params)
     if tracer is not None:
         proc.attach_tracer(tracer)

@@ -29,6 +29,7 @@ from repro.apps.common import (
     check_variant,
     fresh_process,
     plan_nodes,
+    workload_seed,
 )
 from repro.apps.npb.common import region_loop
 from repro.params import SimParams
@@ -66,11 +67,12 @@ def run(
     iters: int = 3,
     params: Optional[SimParams] = None,
     tracer=None,
-    seed: int = 23,
+    seed: Optional[int] = None,
 ) -> AppResult:
     """Run BT; output is the final grid (checked against the reference
     Jacobi sweep) and the accumulated residual."""
     check_variant(variant)
+    seed = workload_seed(params, 23) if seed is None else seed
     cluster, proc, alloc = fresh_process(num_nodes, params)
     if tracer is not None:
         proc.attach_tracer(tracer)

@@ -24,6 +24,7 @@ from repro.apps.common import (
     fresh_process,
     plan_nodes,
     run_workers,
+    workload_seed,
 )
 from repro.params import SimParams
 from repro.runtime.array import alloc_array
@@ -76,10 +77,11 @@ def run(
     n_pairs: int = 1_200_000,
     params: Optional[SimParams] = None,
     tracer=None,
-    seed: int = 19,
+    seed: Optional[int] = None,
 ) -> AppResult:
     """Run EP; output is the 10-bin annulus histogram."""
     check_variant(variant)
+    seed = workload_seed(params, 19) if seed is None else seed
     cluster, proc, alloc = fresh_process(num_nodes, params)
     if tracer is not None:
         proc.attach_tracer(tracer)

@@ -23,6 +23,7 @@ from repro.apps.common import (
     check_variant,
     fresh_process,
     plan_nodes,
+    workload_seed,
 )
 from repro.apps.npb.common import region_loop
 from repro.params import SimParams
@@ -69,11 +70,12 @@ def run(
     iters: int = 2,
     params: Optional[SimParams] = None,
     tracer=None,
-    seed: int = 29,
+    seed: Optional[int] = None,
 ) -> AppResult:
     """Run FT; output is the final matrix checksum, with the full matrix
     checked against the reference."""
     check_variant(variant)
+    seed = workload_seed(params, 29) if seed is None else seed
     cluster, proc, alloc = fresh_process(num_nodes, params)
     if tracer is not None:
         proc.attach_tracer(tracer)

@@ -30,6 +30,7 @@ from repro.apps.common import (
     fresh_process,
     plan_nodes,
     run_workers,
+    workload_seed,
 )
 from repro.apps.polymer.engine import make_frontier_state
 from repro.apps.polymer.graph import edge_balanced_partitions, load_graph
@@ -60,11 +61,12 @@ def run(
     source: int = 0,
     params: Optional[SimParams] = None,
     tracer=None,
-    seed: int = 17,
+    seed: Optional[int] = None,
 ) -> AppResult:
     """Run BFS; output is the distance vector, checked against the
     single-threaded reference."""
     check_variant(variant)
+    seed = workload_seed(params, 17) if seed is None else seed
     cluster, proc, alloc = fresh_process(num_nodes, params)
     if tracer is not None:
         proc.attach_tracer(tracer)

@@ -32,6 +32,7 @@ from repro.apps.common import (
     fresh_process,
     plan_nodes,
     run_workers,
+    workload_seed,
 )
 from repro.apps.polymer.graph import edge_balanced_partitions, load_graph
 from repro.params import SimParams
@@ -82,11 +83,12 @@ def run(
     iters: int = 5,
     params: Optional[SimParams] = None,
     tracer=None,
-    seed: int = 31,
+    seed: Optional[int] = None,
 ) -> AppResult:
     """Run BP; output is the final belief vector, checked against the
     reference (float64 math on both sides, so allclose is tight)."""
     check_variant(variant)
+    seed = workload_seed(params, 31) if seed is None else seed
     cluster, proc, alloc = fresh_process(num_nodes, params)
     if tracer is not None:
         proc.attach_tracer(tracer)

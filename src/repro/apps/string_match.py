@@ -29,6 +29,7 @@ from repro.apps.common import (
     fresh_process,
     plan_nodes,
     run_workers,
+    workload_seed,
 )
 from repro.params import SimParams
 from repro.runtime.array import alloc_array
@@ -67,12 +68,13 @@ def run(
     keys: Sequence[bytes] = workloads.DEFAULT_KEYS,
     params: Optional[SimParams] = None,
     tracer=None,
-    seed: int = 7,
+    seed: Optional[int] = None,
     plant_every: int = 400,
 ) -> AppResult:
     """Run GRP; returns an :class:`AppResult` whose output is the list of
     per-key occurrence counts (verified against the reference scan)."""
     check_variant(variant)
+    seed = workload_seed(params, 7) if seed is None else seed
     cluster, proc, alloc = fresh_process(num_nodes, params)
     if tracer is not None:
         proc.attach_tracer(tracer)

@@ -1,0 +1,193 @@
+"""``python -m repro.chaos`` — run a workload under fault injection.
+
+Examples::
+
+    # the two-node pagefault micro, dropping the first PAGE_REQUEST
+    python -m repro.chaos --drop page_request
+
+    # kmeans on 4 nodes, node 2 fail-stops mid-run; one restart allowed
+    python -m repro.chaos --app kmeans --nodes 4 --crash-node 2 \\
+        --crash-at 30000 --max-restarts 1
+
+    # a full scenario file, sanitizer on, sharded directory
+    python -m repro.chaos --app string_match --scenario chaos.json \\
+        --directory sharded
+
+Exit status is 0 iff the workload completed with a correct result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.chaos.harness import run_pagefault_micro, run_under_chaos
+from repro.chaos.scenario import (
+    EXCLUSIVE_LOSS_POLICIES,
+    ChaosError,
+    ChaosRule,
+    ChaosScenario,
+)
+from repro.core.errors import NodeFailedError
+
+_ALIASES = {
+    "string_match": "GRP", "grep": "GRP", "grp": "GRP",
+    "kmeans": "KMN", "kmn": "KMN",
+    "blackscholes": "BLK", "blk": "BLK",
+    "bt": "BT", "ep": "EP", "ft": "FT",
+    "bfs": "BFS", "bp": "BP", "pagerank": "BP",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="run a workload under a chaos scenario",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=__doc__.split("Examples::", 1)[1],
+    )
+    parser.add_argument("--app", default="micro",
+                        help="application (default: the 2-node pagefault "
+                        "micro); one of micro, kmeans, string_match, "
+                        "blackscholes, bt, ep, ft, bfs, bp")
+    parser.add_argument("--variant", default="initial",
+                        choices=("unmodified", "initial", "optimized"))
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--scale", default="small", choices=("small", "paper"))
+    parser.add_argument("--directory", default=None,
+                        choices=("origin", "sharded"))
+    parser.add_argument("--seed", type=int, default=None,
+                        help="engine RNG seed (default: the scenario's, "
+                        "else 0)")
+    parser.add_argument("--iters", type=int, default=40,
+                        help="micro only: per-thread iteration count")
+    parser.add_argument("--no-sanitize", action="store_true",
+                        help="run without the DexCheck coherence sanitizer")
+    parser.add_argument("--max-restarts", type=int, default=1,
+                        help="app runs: restarts allowed after a fail-stop")
+    # scenario sources
+    parser.add_argument("--scenario", default=None, metavar="FILE",
+                        help="scenario JSON file (inline rule flags append)")
+    parser.add_argument("--policy", default=None,
+                        choices=EXCLUSIVE_LOSS_POLICIES,
+                        help="what to do when a dead node held the only "
+                        "current copy of a page")
+    # inline rules
+    parser.add_argument("--drop", action="append", default=[],
+                        metavar="MSG_TYPE",
+                        help="drop the first message of this type "
+                        "(repeatable)")
+    parser.add_argument("--drop-nth", type=int, default=1,
+                        help="which match the --drop rules fire on")
+    parser.add_argument("--delay", action="append", default=[],
+                        metavar="MSG_TYPE:US",
+                        help="delay the first message of this type by US "
+                        "microseconds (repeatable)")
+    parser.add_argument("--duplicate", action="append", default=[],
+                        metavar="MSG_TYPE",
+                        help="duplicate the first message of this type")
+    parser.add_argument("--degrade", type=float, default=None, metavar="FACTOR",
+                        help="divide link bandwidth by FACTOR for every "
+                        "delivery")
+    parser.add_argument("--crash-node", type=int, default=None,
+                        help="fail-stop this node")
+    parser.add_argument("--crash-at", type=float, default=None, metavar="US",
+                        help="sim time of the --crash-node fail-stop")
+    return parser
+
+
+def _build_scenario(ns: argparse.Namespace) -> Optional[ChaosScenario]:
+    scenario = (ChaosScenario.from_file(ns.scenario)
+                if ns.scenario else ChaosScenario())
+    for msg_type in ns.drop:
+        scenario.rules.append(
+            ChaosRule(kind="drop", msg_type=msg_type, nth=ns.drop_nth))
+    for spec in ns.delay:
+        msg_type, _, us = spec.partition(":")
+        scenario.rules.append(ChaosRule(
+            kind="delay", msg_type=msg_type, nth=1,
+            delay_us=float(us or "0")))
+    for msg_type in ns.duplicate:
+        scenario.rules.append(
+            ChaosRule(kind="duplicate", msg_type=msg_type, nth=1))
+    if ns.degrade is not None:
+        scenario.rules.append(
+            ChaosRule(kind="degrade", factor=ns.degrade, times=None))
+    if ns.crash_node is not None:
+        scenario.rules.append(
+            ChaosRule(kind="crash", node=ns.crash_node, at_us=ns.crash_at))
+    elif ns.crash_at is not None:
+        raise ChaosError("--crash-at needs --crash-node")
+    if ns.policy is not None:
+        scenario.on_exclusive_loss = ns.policy
+    if ns.seed is not None:
+        scenario.seed = ns.seed
+    return scenario.validate()
+
+
+def _print_report(report: Optional[dict]) -> None:
+    if report is None:
+        return
+    counters = {k: v for k, v in report.items() if k != "events"}
+    print("chaos report:", json.dumps(counters, sort_keys=True))
+    for line in report["events"]:
+        print("  " + line)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ns = _build_parser().parse_args(argv)
+    try:
+        scenario = _build_scenario(ns)
+    except ChaosError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    if ns.app == "micro":
+        result = run_pagefault_micro(
+            scenario,
+            directory=ns.directory,
+            sanitize=not ns.no_sanitize,
+            seed=ns.seed,
+            iters=ns.iters,
+        )
+        ok = result["ok"]
+        print(f"pagefault micro: value={result['value']} "
+              f"expected={result['expected']} "
+              f"elapsed={result['elapsed_us']:.1f}us "
+              f"{'OK' if ok else 'WRONG'}")
+        _print_report(result["report"])
+        return 0 if ok else 1
+
+    app = _ALIASES.get(ns.app.lower(), ns.app.upper())
+    try:
+        outcome = run_under_chaos(
+            app,
+            variant=ns.variant,
+            num_nodes=ns.nodes,
+            scale=ns.scale,
+            scenario=scenario,
+            directory=ns.directory,
+            sanitize=not ns.no_sanitize,
+            seed=ns.seed,
+            max_restarts=ns.max_restarts,
+        )
+    except NodeFailedError as err:
+        print(f"{app}: did not survive the scenario: {err}", file=sys.stderr)
+        controller = getattr(scenario, "last_controller", None)
+        _print_report(controller.report() if controller else None)
+        return 1
+    for line in outcome.attempts:
+        print(f"{app}: {line}")
+    result = outcome.result
+    print(f"{app} {ns.variant} nodes={ns.nodes}: "
+          f"elapsed={result.elapsed_us:.1f}us "
+          f"correct={result.correct} "
+          f"({len(outcome.attempts)} attempt(s))")
+    _print_report(outcome.report)
+    return 0 if outcome.correct else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """The repo-specific static lint pass (``python -m repro.check --lint``).
 
-Five AST-based rules, each encoding an invariant of this codebase that a
+Six AST-based rules, each encoding an invariant of this codebase that a
 generic linter cannot know:
 
 * ``unhandled-message-type`` — every ``MsgType`` enum member must be
@@ -31,6 +31,15 @@ generic linter cannot know:
   ``"trace_id"``/``"parent_span"``/``"span_id"`` are banned in dict
   literals.  The ``obs`` package itself (which implements the
   machinery) is exempt in repo mode.
+* ``retry-discipline`` — the reliable transport owns retransmission.
+  Every request-class message (a ``Message(MsgType.X, ...)`` that flows
+  into ``.request(...)``) must declare a timeout class in the
+  ``TIMEOUT_CLASSES`` dict, or the retry loop has no deadline to start
+  from.  And no code may hand-roll an exponential retransmit loop: a
+  ``while`` that sends and scales its own delay (``*=`` / ``**``) must
+  use :func:`repro.net.retry.backoff_delay`, which caps the delay and
+  pairs with a bounded attempt budget.  Constant-delay retry loops
+  (directory-busy backoff) are fine.
 """
 
 from __future__ import annotations
@@ -46,6 +55,7 @@ RULES = (
     "sim-nondeterminism",
     "yield-discipline",
     "span-discipline",
+    "retry-discipline",
 )
 
 #: attribute names that are directory storage internals
@@ -128,6 +138,18 @@ def _msgtype_member(node: ast.AST) -> Optional[str]:
     return None
 
 
+def _message_ctor_member(node: ast.AST) -> Optional[str]:
+    """The MsgType member when *node* is a ``Message(MsgType.X, ...)`` call."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "Message"
+        and node.args
+    ):
+        return _msgtype_member(node.args[0])
+    return None
+
+
 class _ModuleScan:
     """Everything one parsed module contributes to the lint rules."""
 
@@ -142,10 +164,32 @@ class _ModuleScan:
         #: members used as dict-literal keys (only counts as handling
         #: outside the defining module, to ignore size/metadata tables)
         self.dict_key_members: Set[str] = set()
+        #: keys of a ``TIMEOUT_CLASSES = {...}`` dict literal defined here
+        self.timeout_class_members: Set[str] = set()
+        self.defines_timeout_classes = False
+        #: MsgType members this module passes to ``.request(...)``:
+        #: (member, line), resolved through function-local
+        #: ``msg = Message(MsgType.X, ...)`` bindings
+        self.requested_members: List[Tuple[str, int]] = []
         self._collect()
+        self._collect_requests()
 
     def _collect(self) -> None:
         for node in ast.walk(self.tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                target = node.target if isinstance(node, ast.AnnAssign) else (
+                    node.targets[0] if len(node.targets) == 1 else None
+                )
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "TIMEOUT_CLASSES"
+                    and isinstance(node.value, ast.Dict)
+                ):
+                    self.defines_timeout_classes = True
+                    for key in node.value.keys:
+                        member = _msgtype_member(key) if key is not None else None
+                        if member is not None:
+                            self.timeout_class_members.add(member)
             if isinstance(node, ast.ClassDef) and node.name == "MsgType":
                 self.defines_msgtype = True
                 for stmt in node.body:
@@ -168,6 +212,34 @@ class _ModuleScan:
                     member = _msgtype_member(key) if key is not None else None
                     if member is not None:
                         self.dict_key_members.add(member)
+
+    def _collect_requests(self) -> None:
+        for fn in ast.walk(self.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            # function-local `msg = Message(MsgType.X, ...)` bindings
+            bindings: Dict[str, str] = {}
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Assign):
+                    member = _message_ctor_member(node.value)
+                    if member is not None:
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                bindings[target.id] = member
+            for node in ast.walk(fn):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "request"
+                    and node.args
+                ):
+                    continue
+                arg = node.args[0]
+                member = _message_ctor_member(arg)
+                if member is None and isinstance(arg, ast.Name):
+                    member = bindings.get(arg.id)
+                if member is not None:
+                    self.requested_members.append((member, node.lineno))
 
 
 def _check_unhandled_message_types(
@@ -336,6 +408,91 @@ def _check_span_discipline(scan: _ModuleScan) -> List[LintViolation]:
     return violations
 
 
+def _check_timeout_class_declarations(
+    scans: List[_ModuleScan],
+) -> List[LintViolation]:
+    """Part one of ``retry-discipline``: every request-class MsgType must
+    appear as a key of the ``TIMEOUT_CLASSES`` dict literal.  Skipped
+    entirely when no scanned module defines the dict (partial scans of
+    modules that merely *use* the transport would otherwise all fail)."""
+    if not any(scan.defines_timeout_classes for scan in scans):
+        return []
+    declared: Set[str] = set()
+    for scan in scans:
+        declared |= scan.timeout_class_members
+    violations: List[LintViolation] = []
+    for scan in scans:
+        for member, line in scan.requested_members:
+            if member not in declared:
+                violations.append(LintViolation(
+                    rule="retry-discipline",
+                    path=str(scan.path),
+                    line=line,
+                    message=(
+                        f"MsgType.{member} is awaited via .request() but "
+                        f"declares no entry in TIMEOUT_CLASSES — the "
+                        f"retransmission loop has no reply deadline for it"
+                    ),
+                ))
+    return violations
+
+
+#: attribute-call names that put a message on the wire
+_SEND_CALL_ATTRS = frozenset({"send", "post", "request"})
+
+
+def _check_manual_backoff(scan: _ModuleScan) -> List[LintViolation]:
+    """Part two of ``retry-discipline``: a while-loop that sends *and*
+    scales its own delay (``*=`` or ``**``) is a hand-rolled exponential
+    retransmit loop — unless the function delegates the arithmetic to the
+    shared :func:`backoff_delay` helper, which caps the delay and pairs
+    with a bounded attempt budget.  Constant-delay loops are fine."""
+    violations: List[LintViolation] = []
+    for fn in ast.walk(scan.tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        uses_helper = any(
+            isinstance(node, ast.Call)
+            and (
+                (isinstance(node.func, ast.Name)
+                 and node.func.id == "backoff_delay")
+                or (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "backoff_delay")
+            )
+            for node in ast.walk(fn)
+        )
+        if uses_helper:
+            continue
+        for loop in ast.walk(fn):
+            if not isinstance(loop, ast.While):
+                continue
+            sends = any(
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SEND_CALL_ATTRS
+                for node in ast.walk(loop)
+            )
+            scales = any(
+                (isinstance(node, ast.AugAssign)
+                 and isinstance(node.op, (ast.Mult, ast.Pow)))
+                or (isinstance(node, ast.BinOp)
+                    and isinstance(node.op, ast.Pow))
+                for node in ast.walk(loop)
+            )
+            if sends and scales:
+                violations.append(LintViolation(
+                    rule="retry-discipline",
+                    path=str(scan.path),
+                    line=loop.lineno,
+                    message=(
+                        "retransmit loop scales its own delay: use "
+                        "net.retry.backoff_delay (capped exponential, "
+                        "bounded attempts) instead of hand-rolled backoff"
+                    ),
+                ))
+    return violations
+
+
 def _nondeterminism_exempt(path: Path) -> bool:
     return any(part in _NONDETERMINISM_EXEMPT_PARTS for part in path.parts)
 
@@ -363,6 +520,7 @@ def lint_paths(paths: Sequence[Path], repo_mode: bool = False) -> List[LintViola
             continue
         scans.append(_ModuleScan(path, tree))
     violations.extend(_check_unhandled_message_types(scans))
+    violations.extend(_check_timeout_class_declarations(scans))
     for scan in scans:
         violations.extend(_check_directory_encapsulation(scan))
         if not (repo_mode and _nondeterminism_exempt(scan.path)):
@@ -370,6 +528,7 @@ def lint_paths(paths: Sequence[Path], repo_mode: bool = False) -> List[LintViola
         violations.extend(_check_yield_discipline(scan))
         if not (repo_mode and _span_exempt(scan.path)):
             violations.extend(_check_span_discipline(scan))
+        violations.extend(_check_manual_backoff(scan))
     violations.sort(key=lambda v: (v.path, v.line, v.rule))
     return violations
 

@@ -236,6 +236,14 @@ class CoherenceSanitizer:
 
     # -- lifecycle -----------------------------------------------------------
 
+    def on_node_dead(self, node: int) -> None:
+        """A node fail-stopped: discard its copy clocks.  Ownership edges
+        for the reclaim itself were already recorded via :meth:`on_revoke`
+        / :meth:`on_grant` by the recovery walk; anything left is state for
+        copies that no longer exist anywhere."""
+        for key in [k for k in self._copies if k[0] == node]:
+            del self._copies[key]
+
     def on_unmap(self, vpn_start: int, vpn_end: int) -> None:
         """Drop all per-page state for an unmapped range."""
         for vpn in [v for v in self._pages if vpn_start <= v < vpn_end]:

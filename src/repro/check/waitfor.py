@@ -60,10 +60,15 @@ class BlockFrame:
 
 
 class EngineWaitWatcher:
-    """Engine hook recording what every sim process last waited on."""
+    """Engine hook recording what every sim process last waited on, plus
+    which buffer pools are currently exhausted (``repro.net.buffers``
+    notifies on stall/resume)."""
 
     def __init__(self) -> None:
         self.waiting: Dict["Process", "Event"] = {}
+        #: pool -> sim time the oldest outstanding stall began
+        self.stalled_pools: Dict[object, float] = {}
+        self._stall_depth: Dict[object, int] = {}
 
     @classmethod
     def ensure(cls, engine: "Engine") -> "EngineWaitWatcher":
@@ -85,12 +90,38 @@ class EngineWaitWatcher:
     def on_process_finished(self, process: "Process") -> None:
         self.waiting.pop(process, None)
 
+    def on_pool_stall(self, pool) -> None:
+        depth = self._stall_depth.get(pool, 0)
+        if depth == 0:
+            self.stalled_pools[pool] = pool.engine.now
+        self._stall_depth[pool] = depth + 1
+
+    def on_pool_resume(self, pool) -> None:
+        depth = self._stall_depth.get(pool, 0) - 1
+        if depth <= 0:
+            self._stall_depth.pop(pool, None)
+            self.stalled_pools.pop(pool, None)
+        else:
+            self._stall_depth[pool] = depth
+
     def pending(self) -> List[str]:
         lines = []
         for process, event in self.waiting.items():
             if process.triggered or process._waiting_on is not event:
                 continue
             lines.append(f"{process.name} waiting on {event!r}")
+        return lines
+
+    def stalls(self) -> List[str]:
+        """Human-readable lines for every pool currently exhausted."""
+        lines = []
+        for pool, since in self.stalled_pools.items():
+            depth = self._stall_depth.get(pool, 0)
+            lines.append(
+                f"pool {pool.name or '<anonymous>'} exhausted "
+                f"({pool.chunks} chunks, {depth} waiter(s)) "
+                f"since {since:.1f}us"
+            )
         return lines
 
 
@@ -162,6 +193,12 @@ class DeadlockDetector:
     def on_delegation_return(self, tid: int) -> None:
         self._pop(tid, "delegation")
 
+    def on_thread_dead(self, tid: int) -> None:
+        """Thread *tid* died with a fail-stopped node: discard its block
+        frames (a dead thread waits on nothing) so they neither feed
+        wait-for edges nor clutter the post-mortem."""
+        self._frames.pop(tid, None)
+
     # -- lock ownership (fed by the runtime Mutex) ---------------------------
 
     def on_lock_acquired(self, addr: int, tid: int) -> None:
@@ -220,6 +257,11 @@ class DeadlockDetector:
             lines.append(f"  t{tid} blocked in:")
             for frame in reversed(self._frames[tid]):
                 lines.append(f"    {frame.describe()}")
+        stalls = self.watcher.stalls()
+        if stalls:
+            lines.append("exhausted buffer pools:")
+            for entry in sorted(stalls):
+                lines.append(f"  {entry}")
         pending = self.watcher.pending()
         if pending:
             lines.append("pending sim processes:")

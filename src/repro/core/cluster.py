@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Generator, List, Optional
 
+from repro.chaos import ChaosController, resolve_scenario
 from repro.core.errors import DexError
 from repro.core.process import DexProcess
 from repro.net.fabric import Network
@@ -60,6 +61,7 @@ class DexCluster:
         params: Optional[SimParams] = None,
         directory: Optional[str] = None,
         trace: Optional[Any] = None,
+        chaos: Optional[Any] = None,
     ):
         self.params = params if params is not None else SimParams()
         if directory is not None:
@@ -71,7 +73,20 @@ class DexCluster:
             self.params = self.params.copy(
                 trace=trace if isinstance(trace, str) else ("1" if trace else "")
             )
-        self.engine = Engine()
+        if chaos is not None:
+            # convenience knob: DexCluster(chaos=ChaosScenario(...)) or
+            # chaos="scenario.json" / chaos=True
+            if isinstance(chaos, str):
+                self.params = self.params.copy(chaos=chaos)
+            elif chaos is True:
+                self.params = self.params.copy(chaos="on")
+            else:
+                self.params = self.params.copy(chaos_scenario=chaos)
+        scenario = resolve_scenario(self.params)
+        seed = self.params.seed
+        if seed is None and scenario is not None and scenario.seed is not None:
+            seed = scenario.seed
+        self.engine = Engine(seed=0 if seed is None else seed)
         #: the repro.obs span tracer, or None when tracing is off (the
         #: common case — instrumented code then costs one None check)
         self.tracer: Optional[Tracer] = (
@@ -79,12 +94,21 @@ class DexCluster:
             if resolve_trace_mode(self.params.trace)
             else None
         )
-        self.net = Network(self.engine, num_nodes, self.params)
+        #: the fault-injection controller, or None when chaos is off (the
+        #: common case — every fabric/protocol hook is one None check)
+        self.chaos: Optional[ChaosController] = (
+            ChaosController(self.engine, self.params, scenario)
+            if scenario is not None
+            else None
+        )
+        self.net = Network(self.engine, num_nodes, self.params, chaos=self.chaos)
         self.nodes: List[DexNode] = [
             DexNode(self.engine, n, self.params) for n in range(num_nodes)
         ]
         self.processes: Dict[int, DexProcess] = {}
         self._register_handlers()
+        if self.chaos is not None:
+            self.chaos.attach(self)
 
     @property
     def num_nodes(self) -> int:
@@ -116,6 +140,14 @@ class DexCluster:
         if proc is None:
             proc = self.create_process()
         thread = proc.spawn_thread(main, *args, name="main")
+        if self.chaos is not None:
+            # re-arm the keepalive/monitor ticks for this run; stop
+            # re-arming once the main thread completes so engine.run()
+            # can drain and terminate
+            self.chaos.resume_services()
+            thread.sim_process.add_callback(
+                lambda _evt: self.chaos.suspend_services()
+            )
         self.engine.run(until=until)
         if not thread.sim_process.triggered:
             detail = ""
@@ -165,10 +197,20 @@ class DexCluster:
         def ping_handler(msg: Message) -> Generator:
             yield from self.net.send(msg.make_reply(MsgType.PONG, {"ok": True}))
 
+        def lease_handler(msg: Message) -> Generator:
+            # keepalive receipt at the origin (chaos-only traffic); charged
+            # a nominal handling cost like any small control message
+            yield self.engine.timeout(self.params.verb_recv_overhead)
+            if self.chaos is not None:
+                self.chaos.on_lease_renew(
+                    msg.payload["pid"], msg.payload["node"]
+                )
+
         for router in self.net.routers:
             for msg_type, getter in routes.items():
                 router.register(msg_type, make_dispatcher(getter))
             router.register(MsgType.PING, ping_handler)
+            router.register(MsgType.LEASE_RENEW, lease_handler)
 
     # ------------------------------------------------------------------
 

@@ -97,6 +97,7 @@ class DelegationService:
         """Invoke *op* at the origin on behalf of thread *tid* currently at
         *node*; returns the op's result."""
         proc = self.proc
+        proc.check_failed()
         if op not in self._ops:
             raise DexError(f"unknown delegated op {op!r}")
         ctx = OriginExecContext(proc, tid)
@@ -123,12 +124,21 @@ class DelegationService:
             if detector is not None:
                 detector.on_delegation_return(tid)
         if "error" in reply.payload:
-            if reply.payload.get("error_kind") == "DeadlockError":
+            kind = reply.payload.get("error_kind")
+            if kind == "DeadlockError":
                 # re-raise detector findings with their own type so the
                 # caller can tell a wait-for cycle from an errno
                 from repro.check import DeadlockError
 
                 raise DeadlockError(reply.payload["error"])
+            if kind == "NodeFailedError":
+                # fail-stop recovery verdicts keep their type across the
+                # delegation round-trip
+                from repro.core.errors import NodeFailedError
+
+                raise NodeFailedError(
+                    reply.payload.get("error_node", -1), reply.payload["error"]
+                )
             raise DexError(reply.payload["error"])
         return reply.payload["result"]
 
@@ -153,6 +163,9 @@ class DelegationService:
                 # way a failed syscall returns to a local caller (the
                 # error kind lets checker findings keep their type)
                 payload = {"error": str(err), "error_kind": type(err).__name__}
+                node = getattr(err, "node", None)
+                if node is not None:
+                    payload["error_node"] = node
         yield from proc.cluster.net.send(
             msg.make_reply(MsgType.DELEGATE_REPLY, payload)
         )

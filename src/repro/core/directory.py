@@ -216,6 +216,13 @@ class CoherenceDirectory:
             out.extend(self.shard(node).tree.iter_range(vpn_start, vpn_end))
         return out
 
+    def drop_entry(self, vpn: int) -> bool:
+        """Remove a single entry.  Fail-stop recovery uses this when the
+        entry's only current copy died with a node and cannot be reclaimed;
+        the process is being failed, and a dangling entry would trip the
+        teardown invariant checks.  Returns whether an entry existed."""
+        return self.drop_range(vpn, vpn + 1) > 0
+
     def entries_hosted(self, node: int) -> int:
         """How many directory entries *node* currently hosts.  The
         interface teardown code uses instead of peeking at shard storage

@@ -30,3 +30,16 @@ class MigrationError(DexError):
 class ProtocolError(DexError):
     """Internal consistency-protocol invariant violation.  Raising this is
     always a bug in the protocol, never expected behaviour."""
+
+
+class NodeFailedError(DexError):
+    """A remote node fail-stopped (or became unreachable) and the affected
+    operation cannot be completed.  Carries the failed node and a precise
+    diagnostic of what was lost; raised by the retry transport on
+    exhaustion, by the failure detector into pending waiters, and by
+    recovery when a dead node held unrecoverable state."""
+
+    def __init__(self, node: int, diagnostic: str):
+        super().__init__(f"node {node} failed: {diagnostic}")
+        self.node = node
+        self.diagnostic = diagnostic

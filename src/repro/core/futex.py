@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import struct
 from collections import deque
-from typing import TYPE_CHECKING, Deque, Dict, Generator, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, Generator, Optional, Tuple
 
 from repro.obs.tracing import maybe_span
 from repro.sim import Event
@@ -40,6 +40,10 @@ class FutexTable:
         #: the logical thread for the deadlock detector and for the
         #: sanitizer's wake happens-before edge
         self._queues: Dict[int, Deque[Tuple[Event, int]]] = {}
+        #: set by fail-stop recovery when the thread set is broken: any
+        #: further wait would sleep for a wake that may never come, so it
+        #: raises this instead (see :meth:`fail_all`)
+        self.poisoned: Optional[BaseException] = None
 
     def read_word(self, addr: int) -> int:
         """Synchronous read of the futex word from the origin's frames.
@@ -56,6 +60,8 @@ class FutexTable:
         """
         proc = self.proc
         params = proc.cluster.params
+        if self.poisoned is not None:
+            raise self.poisoned
         proc.stats.futex_waits += 1
         with maybe_span(
             proc.obs, "futex.wait",
@@ -112,3 +118,53 @@ class FutexTable:
 
     def waiter_count(self, addr: int) -> int:
         return len(self._queues.get(addr, ()))
+
+    # ------------------------------------------------------------------
+    # fail-stop recovery hooks (see repro.chaos.recovery)
+    # ------------------------------------------------------------------
+
+    def drop_waiters(self, tids, exc: BaseException) -> int:
+        """Dequeue every waiter whose tid is in *tids* (threads that died
+        with a failed node) and fail its wake event with *exc*, so the
+        delegation handler blocked on the wait errors out instead of
+        sleeping forever on behalf of a dead requester.  Returns how many
+        waiters were dropped."""
+        if not tids:
+            return 0
+        dropped = 0
+        detector = self.proc.deadlocks
+        for addr in list(self._queues):
+            queue = self._queues[addr]
+            keep: Deque[Tuple[Event, int]] = deque()
+            for waiter, tid in queue:
+                if tid in tids:
+                    if not waiter.triggered:
+                        waiter.fail(exc)
+                    if detector is not None:
+                        detector.on_futex_resume(tid)
+                    dropped += 1
+                else:
+                    keep.append((waiter, tid))
+            if keep:
+                self._queues[addr] = keep
+            else:
+                del self._queues[addr]
+        return dropped
+
+    def fail_all(self, exc: BaseException) -> int:
+        """Error out *every* waiter and poison future waits: threads died
+        with a failed node, so a wake another thread was counting on may
+        never come and any further sleeping could hang the run.  Returns
+        how many pending waiters were failed."""
+        self.poisoned = exc
+        failed = 0
+        detector = self.proc.deadlocks
+        for addr, queue in list(self._queues.items()):
+            for waiter, tid in queue:
+                if not waiter.triggered:
+                    waiter.fail(exc)
+                if detector is not None:
+                    detector.on_futex_resume(tid)
+                failed += 1
+        self._queues.clear()
+        return failed

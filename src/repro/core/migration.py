@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Generator
 
-from repro.core.errors import MigrationError
+from repro.core.errors import MigrationError, NodeFailedError
 from repro.core.stats import MigrationRecord
 from repro.net.messages import Message, MsgType
 from repro.obs.tracing import maybe_span
@@ -40,6 +40,11 @@ class MigrationService:
             raise MigrationError(f"no such node: {dest}")
         if not thread.alive:
             raise MigrationError(f"thread {thread.tid} is not running")
+        proc.check_failed()
+        if cluster.chaos is not None and cluster.chaos.is_fenced(dest):
+            raise NodeFailedError(
+                dest, f"cannot migrate thread {thread.tid} to a failed node"
+            )
         src = thread.current_node
         if dest == src:
             return
@@ -133,6 +138,11 @@ class MigrationService:
             components["remote_worker"] = params.remote_worker_setup_cost
             proc.nodes_with_worker.add(dest)
             proc.node_state(dest)  # materialize page table / frames / VMA replica
+            chaos = proc.cluster.chaos
+            if chaos is not None:
+                # the new worker starts renewing its lease with the origin;
+                # silence beyond lease_timeout_us declares the node failed
+                chaos.register_lease(proc, dest)
             ready.succeed()
         else:
             if not ready.triggered:

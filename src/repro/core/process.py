@@ -46,6 +46,7 @@ from repro.memory.frames import FrameStore
 from repro.memory.page_table import PageTable
 from repro.memory.vma import AddressSpaceMap, Protection
 from repro.net.messages import Message, MsgType
+from repro.sim import Interrupt
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.cluster import DexCluster
@@ -96,6 +97,10 @@ class DexProcess:
         #: concurrent first migrations serialize on it
         self.worker_ready: Dict[int, Any] = {}
         self.ever_migrated = False
+        #: set by fail-stop recovery (repro.chaos) when the process cannot
+        #: survive a node failure; every blocking service entry point calls
+        #: :meth:`check_failed` so live threads observe the verdict
+        self.failed: Optional[BaseException] = None
 
         #: pending scheduler-initiated migration targets (see
         #: :mod:`repro.core.balancer`); honoured at ``ctx.checkpoint()``
@@ -146,6 +151,18 @@ class DexProcess:
     def iter_node_states(self) -> Iterator[Tuple[int, NodeProcessState]]:
         return iter(self._node_states.items())
 
+    def drop_node_state(self, node: int) -> None:
+        """Discard everything held at *node*.  Used by fail-stop recovery:
+        a crashed node's page tables, frames, and any directory shard it
+        hosted are gone, and keeping them would let invariant checks read
+        state that no longer exists anywhere."""
+        self._node_states.pop(node, None)
+
+    def check_failed(self) -> None:
+        """Raise the recovery verdict if this process has been failed."""
+        if self.failed is not None:
+            raise self.failed
+
     def active_nodes(self) -> List[int]:
         """Nodes currently holding any state for this process."""
         return sorted(set(self._node_states) | {self.origin})
@@ -185,7 +202,16 @@ class DexProcess:
 
         def runner() -> Generator:
             ctx = ThreadContext(thread)
-            result = yield from fn(ctx, *args)
+            try:
+                result = yield from fn(ctx, *args)
+            except Interrupt as stop:
+                if getattr(stop.cause, "halts_thread", False):
+                    # fail-stop: the node executing this thread crashed.
+                    # Park forever — recovery fails the sim process once
+                    # the origin's failure detector notices, so joiners see
+                    # the death at detection time, not at crash time.
+                    yield stop.cause.parked
+                raise
             return result
 
         thread.sim_process = self.cluster.engine.process(

@@ -42,7 +42,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator, List, Optional, Tuple
 
 from repro.core.directory import PageEntry, make_directory
-from repro.core.errors import ProtocolError
+from repro.core.errors import NodeFailedError, ProtocolError
 from repro.memory.page_table import PageState
 from repro.net.messages import Message, MsgType
 from repro.obs.tracing import maybe_span
@@ -55,6 +55,8 @@ if TYPE_CHECKING:  # pragma: no cover
 _RETRY = "retry"
 _GRANT = "grant"
 _REDIRECT = "redirect"
+#: the process was failed by fail-stop recovery (chaos runs only)
+_FAILED = "failed"
 
 
 class ConsistencyProtocol:
@@ -76,6 +78,7 @@ class ConsistencyProtocol:
         retrying with back-off when the directory is busy.  Installs the
         page data and the PTE; returns the number of retries."""
         proc = self.proc
+        proc.check_failed()
         engine = proc.cluster.engine
         params = proc.cluster.params
         page_table = proc.node_state(node).page_table
@@ -123,6 +126,13 @@ class ConsistencyProtocol:
                     reply.page_data,
                 )
             status, state_name, version, data = outcome
+            if status == _FAILED:
+                # the home could not complete the grant because fail-stop
+                # recovery failed the process; surface the verdict here
+                raise NodeFailedError(
+                    reply.payload.get("failed_node", -1),
+                    reply.payload.get("error", "process failed"),
+                )
             if status == _RETRY:
                 retries += 1
                 proc.stats.record_busy_retry(vpn)
@@ -242,6 +252,21 @@ class ConsistencyProtocol:
         engine = proc.cluster.engine
         params = proc.cluster.params
         origin = proc.origin
+        if proc.failed is not None:
+            # fail-stop recovery failed this process: no more grants — a
+            # local requester gets the verdict, a remote one an error reply
+            # (its faulting thread re-raises it)
+            if reply_to is None:
+                raise proc.failed
+            result = (_FAILED, None, 0, None)
+            yield from proc.cluster.net.send(
+                reply_to.make_reply(MsgType.PAGE_GRANT, {
+                    "outcome": _FAILED,
+                    "error": str(proc.failed),
+                    "failed_node": getattr(proc.failed, "node", -1),
+                })
+            )
+            return result
         home = self.directory.home(vpn)
         proc.stats.record_directory_request(home)
         self.directory.shard(home).requests_served += 1
@@ -271,14 +296,30 @@ class ConsistencyProtocol:
                 node=home, vpn=vpn, write=write, requester=requester,
             ):
                 yield engine.timeout(params.protocol_handler_cost)
-                if write:
-                    result = yield from self._grant_exclusive(
-                        entry, requester, known_version
+                try:
+                    if write:
+                        result = yield from self._grant_exclusive(
+                            entry, requester, known_version
+                        )
+                    else:
+                        result = yield from self._grant_shared(
+                            entry, requester, known_version
+                        )
+                except NodeFailedError as err:
+                    # a node died mid-grant holding unrecoverable state
+                    # (chaos runs only): surface the verdict to the
+                    # requester instead of crashing the handler process
+                    if reply_to is None:
+                        raise
+                    result = (_FAILED, None, 0, None)
+                    yield from proc.cluster.net.send(
+                        reply_to.make_reply(MsgType.PAGE_GRANT, {
+                            "outcome": _FAILED,
+                            "error": str(err),
+                            "failed_node": err.node,
+                        })
                     )
-                else:
-                    result = yield from self._grant_shared(
-                        entry, requester, known_version
-                    )
+                    return result
                 if proc.sanitizer is not None:
                     # the grant is decided: the entry must satisfy MRSW right
                     # now, and the requester's copy inherits the page's causal
@@ -447,12 +488,38 @@ class ConsistencyProtocol:
                     # the fan-out runs as child processes; seed them with the
                     # revoke span so their net spans stay in this trace
                     proc.obs.carry(inval_proc)
-                pending.append(inval_proc)
-            acks = yield engine.all_of(pending)
+                pending.append((node, inval_proc))
+            chaos = proc.cluster.chaos
+            if chaos is None:
+                acks = yield engine.all_of([p for _, p in pending])
+                acked = remote_losers
+            else:
+                # reliable mode: collect acks one by one so a loser that
+                # fail-stops mid-revocation can be tolerated — by the time
+                # its request fails, recovery has already reclaimed its copy
+                acks = []
+                acked = []
+                for node, inval_proc in pending:
+                    try:
+                        acks.append((yield inval_proc))
+                        acked.append(node)
+                    except NodeFailedError:
+                        if not chaos.is_fenced(node):
+                            raise
+                        if proc.failed is not None:
+                            # the dead loser held the only current copy and
+                            # the process could not survive it
+                            raise NodeFailedError(
+                                node,
+                                f"page {vpn:#x}: revocation target node "
+                                f"{node} died holding unrecoverable state",
+                            )
+                        # recovery already dropped the dead loser's copy:
+                        # an ack (necessarily without flush data) is implied
             if proc.sanitizer is not None:
                 # each ack proves the loser's accesses are complete; its
                 # copy's causal history flows into the page's home clock
-                for node in remote_losers:
+                for node in acked:
                     proc.sanitizer.on_revoke(vpn, node, downgrade, requester)
             flushes = [ack for ack in acks if ack.page_data is not None]
             if len(flushes) > 1:

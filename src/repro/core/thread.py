@@ -39,6 +39,9 @@ class DexThread:
         self.current_node = proc.origin
         self.migration_count = 0
         self.sim_process: Optional[Process] = None  # set by DexProcess.spawn
+        #: diagnostic set by fail-stop recovery when the node this thread
+        #: was executing on died (the sim process is failed alongside it)
+        self.failed: Optional[str] = None
 
     @property
     def alive(self) -> bool:

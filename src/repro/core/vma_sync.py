@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator, List
 
-from repro.core.errors import SegmentationFault
+from repro.core.errors import NodeFailedError, SegmentationFault
 from repro.memory.vma import VMA, Protection
 from repro.net.messages import Message, MsgType
 
@@ -102,7 +102,11 @@ class VmaSync:
         access operations")."""
         proc = self.proc
         engine = proc.cluster.engine
+        chaos = proc.cluster.chaos
         targets = [n for n in proc.active_nodes() if n != proc.origin]
+        if chaos is not None:
+            # no point updating (or waiting on) the replica of a dead node
+            targets = [n for n in targets if not chaos.is_fenced(n)]
         if not targets:
             return
         proc.stats.vma_shrink_broadcasts += 1
@@ -124,7 +128,17 @@ class VmaSync:
                     proc.cluster.net.request(msg), name=f"vma_shrink->{node}"
                 )
             )
-        yield engine.all_of(pending)
+        if chaos is None:
+            yield engine.all_of(pending)
+            return
+        # reliable mode: a target may fail-stop mid-broadcast; its replica
+        # died with it, so a detector-aborted ack counts as applied
+        for node, shrink_proc in zip(targets, pending):
+            try:
+                yield shrink_proc
+            except NodeFailedError:
+                if not chaos.is_fenced(node):
+                    raise
 
     def handle_shrink(self, msg: Message) -> Generator:
         """Remote-worker handler for an eager shrink/downgrade broadcast

@@ -15,7 +15,8 @@ it would on a real HCA.
 
 from repro.net.buffers import BufferPool, RdmaSink
 from repro.net.fabric import Connection, Network, NodeNIC, Router
-from repro.net.messages import Message, MsgType
+from repro.net.messages import TIMEOUT_CLASSES, Message, MsgType
+from repro.net.retry import backoff_delay, timeout_base_us
 
 __all__ = [
     "BufferPool",
@@ -26,4 +27,7 @@ __all__ = [
     "NodeNIC",
     "RdmaSink",
     "Router",
+    "TIMEOUT_CLASSES",
+    "backoff_delay",
+    "timeout_base_us",
 ]

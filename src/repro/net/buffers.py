@@ -46,6 +46,21 @@ class BufferPool:
         grant = self._slots.acquire()
         if not grant.triggered:
             self.stalls += 1
+            # let the deadlock detector's engine watcher see the stall:
+            # buffer-pool exhaustion is a blocking site like any other, and
+            # a stuck simulation's post-mortem must name exhausted pools
+            for hook in self.engine.hooks:
+                notify = getattr(hook, "on_pool_stall", None)
+                if notify is not None:
+                    notify(self)
+            try:
+                yield grant
+            finally:
+                for hook in self.engine.hooks:
+                    notify = getattr(hook, "on_pool_resume", None)
+                    if notify is not None:
+                        notify(self)
+            return
         yield grant
 
     def release(self) -> None:

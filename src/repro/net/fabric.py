@@ -17,11 +17,13 @@ asynchronous, as on a real HCA.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Tuple
+from typing import Dict, Generator, List, Optional, Tuple
 
+from repro.core.errors import NodeFailedError
 from repro.net import rdma
 from repro.net.buffers import BufferPool, RdmaSink
 from repro.net.messages import Message, MsgType
+from repro.net.retry import backoff_delay, timeout_base_us
 from repro.net.verbs import Router
 from repro.obs.tracing import maybe_span
 from repro.params import SimParams
@@ -67,16 +69,25 @@ class Connection:
 class Network:
     """All fabric state plus the public send/request API."""
 
-    def __init__(self, engine: Engine, num_nodes: int, params: SimParams):
+    def __init__(
+        self, engine: Engine, num_nodes: int, params: SimParams, chaos=None,
+    ):
         if num_nodes < 1:
             raise ValueError(f"need at least one node, got {num_nodes}")
         self.engine = engine
         self.num_nodes = num_nodes
         self.params = params
+        #: the ChaosController when fault injection is on, else None; every
+        #: hook below is gated on one `is None` test so the chaos-off send
+        #: path stays bit-identical
+        self.chaos = chaos
         self.nics: List[NodeNIC] = [
             NodeNIC(engine, n, params) for n in range(num_nodes)
         ]
         self.routers: List[Router] = [Router(engine, n) for n in range(num_nodes)]
+        if chaos is not None:
+            for router in self.routers:
+                router.attach_chaos(chaos, self)
         self.connections: Dict[Tuple[int, int], Connection] = {}
         for src in range(num_nodes):
             for dst in range(num_nodes):
@@ -116,6 +127,14 @@ class Network:
                 yield from self._send_impl(msg)
 
     def _send_impl(self, msg: Message) -> Generator:
+        chaos = self.chaos
+        if chaos is not None:
+            if chaos.on_send(msg):
+                return  # a fenced node sends nothing
+            if msg.reply_to is not None:
+                # remember outbound replies so a duplicate of the request
+                # can be answered idempotently if this copy is lost
+                self.routers[msg.src].note_reply_sent(msg)
         conn = self.connection(msg.src, msg.dst)
         params = self.params
         self.messages_sent += 1
@@ -147,7 +166,15 @@ class Network:
 
     def request(self, msg: Message) -> Generator:
         """Generator: send *msg* and wait for the correlated reply message.
-        Returns the reply."""
+        Returns the reply.
+
+        With fault injection enabled the request rides the reliable
+        transport (:meth:`_request_with_retry`); otherwise it is the plain
+        single-shot path, kept verbatim so chaos-off sim time is
+        bit-identical."""
+        if self.chaos is not None:
+            reply = yield from self._request_with_retry(msg)
+            return reply
         with maybe_span(
             self.engine.tracer, "net.request", node=msg.src,
             msg_type=msg.msg_type.value, dst=msg.dst,
@@ -156,6 +183,74 @@ class Network:
             yield from self.send(msg)
             reply = yield reply_event
         return reply
+
+    def _request_with_retry(self, msg: Message) -> Generator:
+        """The reliable request path: retransmit on reply timeout with
+        capped exponential backoff, bounded *consecutive silent* timeouts.
+
+        Retransmissions reuse the message object, so the sequence number
+        (``msg_id``) is stable and the responder's duplicate filter can
+        suppress re-execution.  A ``REQUEST_ACK`` from the responder means
+        the handler is legitimately still running (a delegated futex wait
+        may block indefinitely): it resets the attempt budget and re-arms
+        the reply without retransmitting, so only true silence counts
+        against ``retry_max_attempts``.  Exhaustion reports the destination
+        unreachable to the failure detector and raises
+        :class:`NodeFailedError`."""
+        chaos = self.chaos
+        engine = self.engine
+        params = self.params
+        router = self.routers[msg.src]
+        base_us = timeout_base_us(params, msg.msg_type)
+        with maybe_span(
+            engine.tracer, "net.request", node=msg.src,
+            msg_type=msg.msg_type.value, dst=msg.dst, reliable=True,
+        ):
+            reply_event = router.expect_reply(msg.msg_id)
+            chaos.track_request(msg, reply_event)
+            try:
+                yield from self.send(msg)
+                attempts = 0
+                while True:
+                    deadline = engine.timeout(
+                        backoff_delay(base_us, attempts, params.retry_backoff_cap_us)
+                    )
+                    try:
+                        yield engine.any_of(
+                            (reply_event, deadline),
+                            name=f"retry:{msg.msg_type.value}#{msg.msg_id}",
+                        )
+                    finally:
+                        # a deadline that lost the race (or died with us)
+                        # must not advance the clock at queue-drain time
+                        deadline.cancel()
+                    if reply_event.triggered:
+                        reply = reply_event.value  # re-raises detector aborts
+                        while reply.msg_type is MsgType.REQUEST_ACK:
+                            # responder alive, handler still running (e.g. a
+                            # delegated futex wait that blocks until another
+                            # thread wakes it).  Wait passively: probing on a
+                            # timer would generate events forever if the
+                            # handler never finishes, and post-ACK responder
+                            # death is the failure detector's job — lease
+                            # expiry fails the tracked reply event.
+                            reply_event = router.expect_reply(msg.msg_id)
+                            chaos.track_request(msg, reply_event)
+                            reply = yield reply_event
+                        return reply
+                    attempts += 1
+                    if attempts >= params.retry_max_attempts:
+                        chaos.note_unreachable(msg.dst, msg)
+                        raise NodeFailedError(
+                            msg.dst,
+                            f"no reply to {msg.msg_type.value}#{msg.msg_id} "
+                            f"after {attempts} attempts",
+                        )
+                    chaos.note_retransmit(msg, attempts)
+                    yield from self.send(msg)
+            finally:
+                router.cancel_reply(msg.msg_id)
+                chaos.untrack_request(msg)
 
     def _wire(
         self, conn: Connection, msg: Message, wire_bytes: int, predecessor, delivered
@@ -181,9 +276,27 @@ class Network:
         if msg.page_data is not None:
             yield from rdma.receiver_data_cost(conn, msg.data_bytes)
         conn.recv_pool.release()  # re-post the receive work request
-        if predecessor is not None and not predecessor.triggered:
-            yield predecessor  # enforce RC in-order delivery
-        self.routers[conn.dst].dispatch(msg)
+        chaos = self.chaos
+        if chaos is None:
+            if predecessor is not None and not predecessor.triggered:
+                yield predecessor  # enforce RC in-order delivery
+            self.routers[conn.dst].dispatch(msg)
+            delivered.succeed()
+            return
+        verdict = chaos.on_deliver(msg, wire_bytes)
+        if verdict is not None and verdict.extra_delay_us > 0.0:
+            # the delayed message keeps its slot in the delivery chain —
+            # head-of-line blocking, as on a real RC queue pair
+            yield self.engine.timeout(verdict.extra_delay_us)
+        if verdict is None or not verdict.reorder:
+            if predecessor is not None and not predecessor.triggered:
+                yield predecessor  # enforce RC in-order delivery
+        if verdict is None or not verdict.drop:
+            self.routers[conn.dst].dispatch(msg)
+            if verdict is not None and verdict.duplicate:
+                self.routers[conn.dst].dispatch(msg)
+        # a dropped message must still release its chain slot, or every
+        # later delivery on this connection waits forever
         delivered.succeed()
 
     # -- diagnostics ----------------------------------------------------------

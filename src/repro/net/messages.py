@@ -48,6 +48,12 @@ class MsgType(enum.Enum):
     # process lifecycle
     PROCESS_EXIT = "process_exit"
 
+    # reliable transport & failure detection (see repro.chaos); only ever
+    # on the wire when fault injection is enabled
+    REQUEST_ACK = "request_ack"            # responder -> requester: duplicate
+    #                                        request seen, handler still running
+    LEASE_RENEW = "lease_renew"            # remote worker -> origin keepalive
+
     # microbenchmark / test traffic
     PING = "ping"
     PONG = "pong"
@@ -73,8 +79,31 @@ CONTROL_SIZES: Dict[MsgType, int] = {
     MsgType.VMA_REPLY: 64,
     MsgType.VMA_SHRINK: 48,
     MsgType.PROCESS_EXIT: 16,
+    MsgType.REQUEST_ACK: 16,
+    MsgType.LEASE_RENEW: 24,
     MsgType.PING: 16,
     MsgType.PONG: 16,
+}
+
+
+#: retry-timeout class of every request-class message (one that a sender
+#: awaits a correlated reply for).  The class picks the reply timeout the
+#: retransmission loop starts from (SimParams.retry_timeout_<class>_us):
+#: "ctl" for small control round-trips, "data" for replies that may carry a
+#: page or legitimately wait out an in-flight install, "heavy" for
+#: migration/delegation round-trips whose handlers do real work.  The
+#: retry-discipline lint rule requires every request-class MsgType to
+#: appear here.
+TIMEOUT_CLASSES: Dict[MsgType, str] = {
+    MsgType.MIGRATE: "heavy",
+    MsgType.MIGRATE_BACK: "heavy",
+    MsgType.DELEGATE: "heavy",
+    MsgType.PAGE_REQUEST: "data",
+    MsgType.PAGE_INVALIDATE: "data",
+    MsgType.PAGE_HOME_LOOKUP: "ctl",
+    MsgType.VMA_QUERY: "ctl",
+    MsgType.VMA_SHRINK: "ctl",
+    MsgType.PING: "ctl",
 }
 
 

@@ -10,12 +10,18 @@ the paper's messaging layer.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generator
+from collections import OrderedDict
+from typing import Callable, Dict, Generator, Optional
 
-from repro.net.messages import Message, MsgType
+from repro.net.messages import TIMEOUT_CLASSES, Message, MsgType
 from repro.sim import Engine, Event
 
 Handler = Callable[[Message], Generator]
+
+#: bound on the responder-side duplicate filter (msg_id -> cached reply);
+#: old entries age out FIFO, which is safe because a requester only
+#: retransmits while its bounded retry loop is still running
+_SEEN_CAP = 4096
 
 
 class RouterError(Exception):
@@ -32,6 +38,21 @@ class Router:
         self._pending: Dict[int, Event] = {}
         self.dispatched = 0
         self.replies_matched = 0
+        # reliable-transport state; dormant (None) unless fault injection
+        # is enabled — see attach_chaos()
+        self.chaos = None
+        self.net = None
+        #: request msg_id -> cached reply (None while the handler runs);
+        #: the responder half of idempotent retransmission
+        self._seen: "OrderedDict[int, Optional[Message]]" = OrderedDict()
+        self.duplicates_dropped = 0
+
+    def attach_chaos(self, chaos, net) -> None:
+        """Enable the responder side of the reliable transport: duplicate
+        request suppression, REQUEST_ACKs for in-flight handlers, and
+        idempotent re-sends of cached replies."""
+        self.chaos = chaos
+        self.net = net
 
     def register(self, msg_type: MsgType, handler: Handler) -> None:
         if msg_type in self._handlers:
@@ -57,6 +78,15 @@ class Router:
                 return
             # a reply whose requester gave up; fall through to a typed
             # handler if one exists, otherwise drop it silently
+        elif self.chaos is not None:
+            # responder-side duplicate suppression: a retransmitted request
+            # (same msg_id) must not re-execute its handler
+            if msg.msg_id in self._seen:
+                self._on_duplicate(msg)
+                return
+            self._seen[msg.msg_id] = None
+            while len(self._seen) > _SEEN_CAP:
+                self._seen.popitem(last=False)
         handler = self._handlers.get(msg.msg_type)
         if handler is None:
             if msg.reply_to is not None:
@@ -88,6 +118,42 @@ class Router:
                 node=self.node_id, src=msg.src,
             )
         proc.add_callback(self._check_handler)
+
+    def _on_duplicate(self, msg: Message) -> None:
+        """A retransmission of a request this node already accepted."""
+        self.duplicates_dropped += 1
+        cached = self._seen.get(msg.msg_id)
+        if cached is not None:
+            # the reply went out and may have been lost: re-send a clone
+            # (fresh msg_id so the fabric treats it as a new wire message,
+            # same reply_to so it correlates at the requester; requester-
+            # side suppression drops it if the original also arrived)
+            self.chaos.replies_resent.inc()
+            self.net.post(Message(
+                msg_type=cached.msg_type,
+                src=cached.src,
+                dst=cached.dst,
+                payload=cached.payload,
+                page_data=cached.page_data,
+                reply_to=cached.reply_to,
+            ))
+        elif msg.msg_type in TIMEOUT_CLASSES:
+            # request-class message whose handler is still running (it may
+            # legitimately block, e.g. a delegated futex wait): tell the
+            # requester to keep waiting instead of declaring us dead
+            self.chaos.request_acks.inc()
+            self.net.post(msg.make_reply(
+                MsgType.REQUEST_ACK, {"ack_for": msg.msg_id}
+            ))
+        # duplicates of one-way messages vanish silently
+
+    def note_reply_sent(self, reply: Message) -> None:
+        """Cache an outbound reply against its request id (called by the
+        fabric's send path when fault injection is on)."""
+        if reply.msg_type is MsgType.REQUEST_ACK:
+            return  # not the real reply; the handler is still running
+        if reply.reply_to in self._seen:
+            self._seen[reply.reply_to] = reply
 
     def _check_handler(self, proc) -> None:
         """Handler processes have no waiters; surface their failures

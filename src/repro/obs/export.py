@@ -85,6 +85,7 @@ def cross_node_traces(spans: Sequence[Span], min_nodes: int = 2) -> List[TreeRep
 # the same thread overlap (a remote futex_wait is nested inside the waiter's
 # delegation.call round-trip; the time is futex time, not delegation time).
 _PHASES: Tuple[Tuple[str, str, int], ...] = (
+    ("chaos.", "chaos", 6),
     ("futex.", "futex", 5),
     ("fault", "fault_wait", 4),
     ("migration.", "migration", 3),
@@ -92,7 +93,9 @@ _PHASES: Tuple[Tuple[str, str, int], ...] = (
     ("compute", "compute", 1),
 )
 
-PHASE_NAMES: Tuple[str, ...] = ("compute", "fault_wait", "futex", "migration", "delegation")
+PHASE_NAMES: Tuple[str, ...] = (
+    "compute", "fault_wait", "futex", "migration", "delegation", "chaos",
+)
 
 
 def phase_of(name: str) -> Optional[Tuple[str, int]]:

@@ -141,6 +141,39 @@ class SimParams:
     #: touching every SimParams construction).
     sanitize: Optional[str] = None
 
+    # ---- fault injection & recovery (see repro.chaos) --------------------
+    #: chaos selection: "" off, "1"/"on" on (empty scenario unless
+    #: `chaos_scenario` is set), or a path to a scenario JSON file.  None
+    #: defers to the DEX_CHAOS environment variable; when off no controller
+    #: exists, the transport keeps its untimed request path, and sim time
+    #: is bit-identical to a build without the subsystem
+    chaos: Optional[str] = None
+    #: programmatic scenario (a repro.chaos.ChaosScenario); takes precedence
+    #: over a scenario file named by `chaos`
+    chaos_scenario: Optional[object] = field(default=None, repr=False, compare=False)
+    #: master seed for the engine-owned RNG.  None keeps each app's
+    #: calibrated default workload seed; setting it pins every stochastic
+    #: choice (chaos schedules, workload init) to one number
+    seed: Optional[int] = None
+    #: reply timeout before the first retransmission, per message class
+    #: (see repro.net.messages.TIMEOUT_CLASSES): "ctl" covers small
+    #: control round-trips, "data" covers replies that may carry a page or
+    #: wait out an in-flight install, "heavy" covers migration/delegation
+    retry_timeout_ctl_us: float = 80.0
+    retry_timeout_data_us: float = 400.0
+    retry_timeout_heavy_us: float = 2_500.0
+    #: consecutive unanswered retransmissions before the peer is declared
+    #: unreachable (a duplicate-ack from a live peer resets the count)
+    retry_max_attempts: int = 6
+    #: ceiling of the exponential retransmission backoff
+    retry_backoff_cap_us: float = 5_000.0
+    #: remote worker -> origin keepalive period
+    lease_interval_us: float = 150.0
+    #: renewal silence after which the origin declares a node failed
+    lease_timeout_us: float = 600.0
+    #: origin-side failure-detector polling period
+    lease_check_us: float = 150.0
+
     # ---- observability (see repro.obs) -----------------------------------
     #: causal span tracing: "" off, "1"/"spans" on.  None defers to the
     #: DEX_TRACE environment variable (same scheme as `sanitize`); when off

@@ -11,6 +11,8 @@ protocol, and the applications — runs as processes on this engine.
 """
 
 from repro.sim.engine import (
+    AllOf,
+    AnyOf,
     Engine,
     Event,
     Interrupt,
@@ -21,6 +23,8 @@ from repro.sim.engine import (
 from repro.sim.resources import FairShareResource, Resource, Store
 
 __all__ = [
+    "AllOf",
+    "AnyOf",
     "Engine",
     "Event",
     "FairShareResource",

@@ -107,14 +107,24 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed simulated delay."""
 
-    __slots__ = ("delay",)
+    __slots__ = ("delay", "_cancelled")
 
     def __init__(self, engine: "Engine", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
         super().__init__(engine, name=f"Timeout({delay})")
         self.delay = delay
+        self._cancelled = False
         engine._schedule_at(engine.now + delay, self._fire, value)
+
+    def cancel(self) -> None:
+        """Discard an untriggered timeout.  Its queue entry is skipped
+        without advancing the clock, so an abandoned deadline (e.g. a retry
+        timer whose reply arrived) does not distort the final sim time when
+        :meth:`Engine.run` drains the queue."""
+        if not self._done and not self._cancelled:
+            self._cancelled = True
+            self.engine._cancelled_entries += 1
 
     def _fire(self, value: Any) -> None:
         self.succeed(value)
@@ -230,6 +240,31 @@ class AllOf(Event):
             self.succeed([c._value for c in self._children])
 
 
+class AnyOf(Event):
+    """Triggers with the value (or exception) of the first child event to
+    complete; later completions are ignored.  The losing children keep
+    running — callers that race a reply against a timeout must check which
+    child actually triggered."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, engine: "Engine", events: Iterable[Event], name: str = ""):
+        super().__init__(engine, name=name or "AnyOf")
+        self._children = list(events)
+        if not self._children:
+            raise SimulationError("AnyOf requires at least one event")
+        for child in self._children:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self._done:
+            return
+        if child._exc is not None:
+            self.fail(child._exc)
+        else:
+            self.succeed(child._value)
+
+
 class Engine:
     """The event loop.
 
@@ -246,11 +281,19 @@ class Engine:
         assert eng.now == 5.0 and proc.value == "done"
     """
 
-    def __init__(self) -> None:
+    def __init__(self, seed: int = 0) -> None:
         self.now: float = 0.0
         self._queue: List = []
         self._seq = 0
         self._running = False
+        #: cancelled Timeout entries still sitting in the queue; the run
+        #: loop only pays the skip check while this is non-zero
+        self._cancelled_entries = 0
+        #: master seed for this simulation; every stochastic choice (chaos
+        #: schedules, workload init) must derive from it so runs are
+        #: reproducible end to end
+        self.seed = seed
+        self._rng: Optional[Any] = None
         #: observers of process lifecycle (see :meth:`add_hook`); empty in
         #: normal runs, so every hook site is one falsy check
         self.hooks: List[Any] = []
@@ -260,6 +303,19 @@ class Engine:
         #: the repro.obs Tracer attached to this engine, or None (tracing
         #: off); instrumented code guards on this single attribute
         self.tracer: Optional[Any] = None
+
+    @property
+    def rng(self) -> Any:
+        """The engine-owned seeded RNG (``numpy.random.Generator``).
+
+        Created lazily so simulations that never draw randomness pay
+        nothing; the numpy import stays out of the module top level to keep
+        the core engine dependency-free."""
+        if self._rng is None:
+            from numpy.random import default_rng
+
+            self._rng = default_rng(self.seed)
+        return self._rng
 
     def add_hook(self, hook: Any) -> None:
         """Register a process-lifecycle observer.  A hook may implement
@@ -316,6 +372,9 @@ class Engine:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
+    def any_of(self, events: Iterable[Event], name: str = "") -> AnyOf:
+        return AnyOf(self, events, name=name)
+
     def trigger_at(self, when: float, event: Event, value: Any = None) -> None:
         """Succeed *event* at absolute simulated time *when*."""
         self._schedule_at(when, event.succeed, value)
@@ -336,6 +395,12 @@ class Engine:
         try:
             while self._queue:
                 when, _seq, fn, args = self._queue[0]
+                if self._cancelled_entries:
+                    owner = getattr(fn, "__self__", None)
+                    if owner is not None and getattr(owner, "_cancelled", False):
+                        heapq.heappop(self._queue)
+                        self._cancelled_entries -= 1
+                        continue
                 if until is not None and when > until:
                     self.now = until
                     break

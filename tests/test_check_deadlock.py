@@ -119,3 +119,41 @@ def test_stuck_simulation_report_names_the_waiter():
     assert "wait-for state:" in message
     assert "t0 blocked in:" in message
     assert "futex(" in message
+
+
+def test_exhausted_buffer_pool_appears_in_report():
+    """A sender parked on buffer-pool back-pressure is a block frame too:
+    the post-mortem names the exhausted pool, its size, and the waiters."""
+    from repro.net.buffers import BufferPool
+
+    cluster = make_cluster(num_nodes=2, sanitize="deadlock")
+    proc = cluster.create_process()
+    pool = BufferPool(cluster.engine, chunks=1, chunk_bytes=4096,
+                      name="c0->1.send")
+    cluster.engine.process(pool.acquire(), name="first")   # takes the chunk
+    cluster.engine.process(pool.acquire(), name="second")  # stalls forever
+    cluster.engine.run()
+    assert pool.stalls == 1
+    report = proc.deadlocks.report()
+    assert "exhausted buffer pools:" in report
+    assert "pool c0->1.send exhausted (1 chunks, 1 waiter(s))" in report
+    assert "pending sim processes:" in report
+
+
+def test_pool_stall_clears_on_release():
+    from repro.net.buffers import BufferPool
+
+    cluster = make_cluster(num_nodes=2, sanitize="deadlock")
+    proc = cluster.create_process()
+    pool = BufferPool(cluster.engine, chunks=1, chunk_bytes=4096, name="p")
+
+    def cycle(engine):
+        yield from pool.acquire()
+        yield engine.timeout(5.0)
+        pool.release()
+
+    cluster.engine.process(cycle(cluster.engine), name="a")
+    cluster.engine.process(cycle(cluster.engine), name="b")
+    cluster.engine.run()
+    assert pool.stalls == 1  # b waited for a's chunk once
+    assert "exhausted buffer pools:" not in proc.deadlocks.report()

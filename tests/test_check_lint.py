@@ -23,6 +23,7 @@ def test_rule_registry_is_complete():
         "sim-nondeterminism",
         "yield-discipline",
         "span-discipline",
+        "retry-discipline",
     )
 
 
@@ -74,6 +75,22 @@ def test_span_discipline_fixture():
     for key in ("trace_id", "parent_span", "span_id"):
         assert f"dict key {key!r}" in messages
     assert len(violations) == 5  # the sanctioned with-forms are not flagged
+
+
+def test_retry_discipline_fixture():
+    violations = lint_paths([FIXTURES / "fixture_retry_discipline.py"])
+    assert rules_of(violations) == ["retry-discipline"]
+    assert len(violations) == 2
+    messages = " | ".join(v.message for v in violations)
+    # the undeclared message is caught through the msg = Message(...) binding
+    assert "MsgType.NAK" in messages
+    assert "MsgType.SYN" not in messages  # declared → clean
+    # the hand-rolled loop is flagged; the constant-delay loop is not
+    assert "retransmit loop scales its own delay" in messages
+    lines = sorted(v.line for v in violations)
+    source = (FIXTURES / "fixture_retry_discipline.py").read_text().splitlines()
+    assert "net.request(msg)" in source[lines[0] - 1]
+    assert source[lines[1] - 1].strip().startswith("while True:")
 
 
 def test_span_discipline_repo_mode_exempts_obs():
