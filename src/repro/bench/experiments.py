@@ -146,6 +146,9 @@ class FaultReport:
     contended_mean_us: float
     page_retrieval_us: float  # messaging-layer 4KB fetch (paper: 13.6us)
     lost_updates: int         # must be zero
+    #: engine dispatches of the hammer cluster (perf trajectory input;
+    #: not part of the behavioural digest)
+    events_dispatched: int = 0
 
     @property
     def bimodal_ratio(self) -> float:
@@ -215,6 +218,7 @@ def pagefault_micro(
         contended_mean_us=statistics.mean(slow) if slow else 0.0,
         page_retrieval_us=fetch_latency - trap_side,
         lost_updates=sum(counts) - value,
+        events_dispatched=cluster.engine.events_dispatched,
     )
 
 

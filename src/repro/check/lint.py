@@ -1,6 +1,6 @@
 """The repo-specific static lint pass (``python -m repro.check --lint``).
 
-Six AST-based rules, each encoding an invariant of this codebase that a
+Seven AST-based rules, each encoding an invariant of this codebase that a
 generic linter cannot know:
 
 * ``unhandled-message-type`` — every ``MsgType`` enum member must be
@@ -31,6 +31,15 @@ generic linter cannot know:
   ``"trace_id"``/``"parent_span"``/``"span_id"`` are banned in dict
   literals.  The ``obs`` package itself (which implements the
   machinery) is exempt in repo mode.
+* ``slots-discipline`` — every class on an engine-core path (a ``sim``
+  package, or the message layer ``net/messages.py``) must declare
+  ``__slots__``, either as a class-body literal or via
+  ``@dataclass(slots=True)``.  These are the highest-volume objects in
+  the simulator (events, timeouts, queue entries, messages); a silent
+  instance ``__dict__`` costs memory and attribute-lookup time exactly
+  where the hot loop lives, and hides typo'd attribute writes the slots
+  layout would reject.  Enum and exception classes are exempt (both are
+  rare, and exceptions carry ``args`` machinery of their own).
 * ``retry-discipline`` — the reliable transport owns retransmission.
   Every request-class message (a ``Message(MsgType.X, ...)`` that flows
   into ``.request(...)``) must declare a timeout class in the
@@ -55,6 +64,7 @@ RULES = (
     "sim-nondeterminism",
     "yield-discipline",
     "span-discipline",
+    "slots-discipline",
     "retry-discipline",
 )
 
@@ -437,6 +447,80 @@ def _check_timeout_class_declarations(
     return violations
 
 
+#: base-class names that exempt a class from the slots rule
+_SLOTS_EXEMPT_BASES = frozenset({
+    "Enum", "IntEnum", "StrEnum", "Flag", "IntFlag",
+    "BaseException", "Exception", "Warning",
+})
+
+
+def _slots_scope(path: Path) -> bool:
+    """Is *path* on an engine-core path the slots rule covers?"""
+    parents = path.parts[:-1]
+    if "sim" in parents:
+        return True
+    return path.name == "messages.py" and "net" in parents
+
+
+def _declares_slots(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == "__slots__"
+                   for t in stmt.targets):
+                return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and \
+                    stmt.target.id == "__slots__":
+                return True
+    for deco in node.decorator_list:
+        if not isinstance(deco, ast.Call):
+            continue
+        name = _dotted_name(deco.func)
+        if name and name[-1] == "dataclass":
+            for kw in deco.keywords:
+                if (
+                    kw.arg == "slots"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                ):
+                    return True
+    return False
+
+
+def _slots_exempt_class(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        name = _dotted_name(base)
+        last = name[-1] if name else ""
+        if last in _SLOTS_EXEMPT_BASES or last.endswith("Error") or \
+                last.endswith("Exception"):
+            return True
+    return False
+
+
+def _check_slots_discipline(scan: _ModuleScan) -> List[LintViolation]:
+    if not _slots_scope(scan.path):
+        return []
+    violations = []
+    for node in ast.walk(scan.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if _slots_exempt_class(node):
+            continue
+        if not _declares_slots(node):
+            violations.append(LintViolation(
+                rule="slots-discipline",
+                path=str(scan.path),
+                line=node.lineno,
+                message=(
+                    f"class {node.name} on an engine-core path declares no "
+                    f"__slots__ (use a class-body literal or "
+                    f"@dataclass(slots=True)); hot-loop objects must not "
+                    f"carry an instance __dict__"
+                ),
+            ))
+    return violations
+
+
 #: attribute-call names that put a message on the wire
 _SEND_CALL_ATTRS = frozenset({"send", "post", "request"})
 
@@ -528,6 +612,7 @@ def lint_paths(paths: Sequence[Path], repo_mode: bool = False) -> List[LintViola
         violations.extend(_check_yield_discipline(scan))
         if not (repo_mode and _span_exempt(scan.path)):
             violations.extend(_check_span_discipline(scan))
+        violations.extend(_check_slots_discipline(scan))
         violations.extend(_check_manual_backoff(scan))
     violations.sort(key=lambda v: (v.path, v.line, v.rule))
     return violations

@@ -92,6 +92,10 @@ class DexProcess:
         self.obs = cluster.tracer
 
         self._node_states: Dict[int, NodeProcessState] = {}
+        #: bumped whenever a node's state is dropped; ThreadContext keys
+        #: its memoised node-state fast path on this so a recreated state
+        #: can never be shadowed by a stale cache
+        self.state_gen = 0
         self.nodes_with_worker: Set[int] = set()
         #: node -> event triggered once the remote worker there is set up;
         #: concurrent first migrations serialize on it
@@ -157,6 +161,7 @@ class DexProcess:
         hosted are gone, and keeping them would let invariant checks read
         state that no longer exists anywhere."""
         self._node_states.pop(node, None)
+        self.state_gen += 1
 
     def check_failed(self) -> None:
         """Raise the recovery verdict if this process has been failed."""
@@ -314,6 +319,7 @@ class DexProcess:
             # a node hosting directory shard entries keeps its state: the
             # metadata outlives the worker thread that ran there
             self._node_states.pop(node, None)
+            self.state_gen += 1
 
     # ------------------------------------------------------------------
 

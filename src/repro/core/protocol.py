@@ -44,7 +44,14 @@ from typing import TYPE_CHECKING, Generator, List, Optional, Tuple
 from repro.core.directory import PageEntry, make_directory
 from repro.core.errors import NodeFailedError, ProtocolError
 from repro.memory.page_table import PageState
-from repro.net.messages import Message, MsgType
+from repro.net.messages import (
+    PAYLOAD_ACK_OK,
+    PAYLOAD_REDIRECT,
+    PAYLOAD_RETRY,
+    Message,
+    MsgType,
+    obtain_message,
+)
 from repro.obs.tracing import maybe_span
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -98,7 +105,7 @@ class ConsistencyProtocol:
             else:
                 target = yield from self._resolve_home(node, vpn)
                 reply = yield from proc.cluster.net.request(
-                    Message(
+                    obtain_message(
                         MsgType.PAGE_REQUEST,
                         src=node,
                         dst=target,
@@ -117,6 +124,7 @@ class ConsistencyProtocol:
                     proc.node_state(node).owner_hints.invalidate(vpn)
                     if proc.sanitizer is not None:
                         proc.sanitizer.on_redirect(vpn, node, target)
+                    proc.cluster.net.recycle(reply)
                     continue
                 self._note_home(node, vpn, target)
                 outcome = (
@@ -125,6 +133,11 @@ class ConsistencyProtocol:
                     reply.payload.get("version", 0),
                     reply.page_data,
                 )
+                if outcome[0] != _FAILED:
+                    # fully extracted (the _FAILED branch below still
+                    # needs the payload, but it only occurs in chaos runs
+                    # where recycling is a no-op anyway)
+                    proc.cluster.net.recycle(reply)
             status, state_name, version, data = outcome
             if status == _FAILED:
                 # the home could not complete the grant because fail-stop
@@ -174,7 +187,7 @@ class ConsistencyProtocol:
         proc.stats.home_lookups += 1
         with maybe_span(proc.obs, "protocol.resolve_home", node=node, vpn=vpn):
             reply = yield from proc.cluster.net.request(
-                Message(
+                obtain_message(
                     MsgType.PAGE_HOME_LOOKUP,
                     src=node,
                     dst=proc.origin,
@@ -182,6 +195,7 @@ class ConsistencyProtocol:
                 )
             )
         home = reply.payload["home"]
+        proc.cluster.net.recycle(reply)
         hints.insert(vpn, home)
         if proc.sanitizer is not None:
             proc.sanitizer.on_home_lookup(vpn, node, home)
@@ -218,7 +232,7 @@ class ConsistencyProtocol:
             # serialize the operation — bounce the requester back to the
             # resolution path instead of guessing
             yield from self.proc.cluster.net.send(
-                msg.make_reply(MsgType.PAGE_REDIRECT, {"outcome": _REDIRECT})
+                msg.make_reply(MsgType.PAGE_REDIRECT, PAYLOAD_REDIRECT)
             )
             return
         yield from self.handle_request(
@@ -286,7 +300,7 @@ class ConsistencyProtocol:
                 proc.sanitizer.on_retry(vpn, requester)
             if reply_to is not None:
                 yield from proc.cluster.net.send(
-                    reply_to.make_reply(MsgType.PAGE_RETRY, {"outcome": _RETRY})
+                    reply_to.make_reply(MsgType.PAGE_RETRY, PAYLOAD_RETRY)
                 )
             return result
         entry.busy = True
@@ -470,7 +484,7 @@ class ConsistencyProtocol:
             proc.stats.invalidations_sent += len(remote_losers)
             pending = []
             for node in remote_losers:
-                msg = Message(
+                msg = obtain_message(
                     MsgType.PAGE_INVALIDATE,
                     src=home,
                     dst=node,
@@ -540,6 +554,8 @@ class ConsistencyProtocol:
                         # grant-equivalent: the flush left the home with a
                         # readable copy, inheriting the page's history
                         proc.sanitizer.on_grant(vpn, home, write=False)
+            for ack in acks:
+                proc.cluster.net.recycle(ack)
         if downgrade:
             # downgraded losers stay owners (readers); nothing to remove
             return
@@ -627,7 +643,7 @@ class ConsistencyProtocol:
             )
         yield from proc.cluster.net.send(
             msg.make_reply(
-                MsgType.PAGE_INVALIDATE_ACK, {"ok": True}, page_data=dirty
+                MsgType.PAGE_INVALIDATE_ACK, PAYLOAD_ACK_OK, page_data=dirty
             )
         )
 

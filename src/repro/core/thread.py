@@ -20,10 +20,14 @@ simulation engine.  Application code receives a :class:`ThreadContext`
 from __future__ import annotations
 
 import struct
+from heapq import heappush as _heappush
+from struct import pack_into as _pack_into, unpack_from as _unpack_from
 from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
 from repro.core.errors import DexError
+from repro.memory.page_table import PageState
 from repro.sim import Process
+from repro.sim.engine import _UNSET, Immediate
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.process import DexProcess
@@ -57,6 +61,39 @@ class DexThread:
         return f"<DexThread {self.name} @node{self.current_node}>"
 
 
+class _ComputeAwait:
+    """``yield from``-able wrapper for the cpu-only compute fast path.
+
+    The first ``__next__`` hands the armed sleep timeout to the scheduler;
+    the resume re-enters here, where the core slot is released at exactly
+    the point the generator path's ``finally`` block ran (inside the
+    process step, before the caller's frame continues) — so scheduling
+    order, and therefore sequence-number allocation, is unchanged.  One
+    reusable instance per ThreadContext: a thread runs one compute at a
+    time, and ``yield from`` consumes the wrapper before the next call.
+
+    Only safe when the sleep cannot be interrupted (an iterator has no
+    ``throw``/``close``, so an Interrupt would skip the release); the
+    caller gates on fault injection being off, the sole interrupt source.
+    """
+
+    __slots__ = ("timeout", "cores", "_yielded")
+
+    def __iter__(self) -> "_ComputeAwait":
+        return self
+
+    def __next__(self):
+        if not self._yielded:
+            self._yielded = True
+            return self.timeout
+        cores = self.cores
+        if cores._waiters:
+            cores._waiters.popleft().succeed()
+        else:
+            cores._in_use -= 1
+        raise StopIteration
+
+
 class ThreadContext:
     """The handle application code uses for every interaction with DeX."""
 
@@ -66,6 +103,25 @@ class ThreadContext:
         self.cluster = thread.proc.cluster
         self.engine = self.cluster.engine
         self.params = self.cluster.params
+        #: reusable sleep timeout for the cpu-only compute path (created
+        #: lazily; see _compute_impl)
+        self._sleep = None
+        #: reusable awaiter for the no-generator compute fast path
+        self._caw = _ComputeAwait()
+        #: reusable Immediate for synchronous fast-path returns (consumed
+        #: by ``yield from`` before the next call can overwrite it)
+        self._imm = Immediate(None)
+        #: immutable per-cluster facts, cached off the attribute chains the
+        #: hot paths would otherwise re-walk on every call (cluster.chaos is
+        #: assigned once in DexCluster.__init__, page_size never changes)
+        self._page_size = self.cluster.params.page_size
+        self._chaos_off = self.cluster.chaos is None
+        self._nodes = self.cluster.nodes
+        #: memoised per-node state for the distributed-memory fast paths,
+        #: keyed (and revalidated) by the thread's current node
+        self._state_node = -1
+        self._state_gen = -1
+        self._state = None
 
     @property
     def tid(self) -> int:
@@ -118,18 +174,67 @@ class ThreadContext:
         hot footprint it is drawn from) and served by the node's fair-share
         DRAM bandwidth; the effective duration is the max of the CPU time
         and the memory time, modelling a core stalled on memory.
+
+        Returns the generator directly (no pass-through frame): ``yield
+        from ctx.compute(...)`` delegates to it immediately.
         """
         # compute is the hottest instrumented call site: the tracing-off
         # path must stay a single None check, so no maybe_span() here
         obs = self.proc.obs
         if obs is None:
+            if mem_bytes <= 0 and self._chaos_off:
+                # cpu-only, interrupt-free: skip the generator frame
+                # entirely (see _ComputeAwait; bit-identical scheduling)
+                cores = self._nodes[self.thread.current_node].cores
+                if cores._in_use < cores.capacity:
+                    cores._in_use += 1
+                    if cpu_us > 0:
+                        sleep = self._sleep
+                        if sleep is not None and sleep._done:
+                            # inlined Timeout.rearm (hottest call site)
+                            sleep._value = _UNSET
+                            sleep._exc = None
+                            sleep._done = False
+                            sleep._callbacks = []
+                            sleep.delay = cpu_us
+                            sleep._cancelled = False
+                            engine = self.engine
+                            engine._seq += 1
+                            sleep._entry = entry = [
+                                engine.now + cpu_us, engine._seq, sleep._fire, (None,)
+                            ]
+                            _heappush(engine._queue, entry)
+                        else:
+                            self._sleep = sleep = self.engine.timeout(cpu_us)
+                        aw = self._caw
+                        aw.timeout = sleep
+                        aw.cores = cores
+                        aw._yielded = False
+                        return aw
+                    # zero-duration compute: slot taken and released with
+                    # no yield, exactly like the generator path
+                    if cores._waiters:
+                        cores._waiters.popleft().succeed()
+                    else:
+                        cores._in_use -= 1
+                    imm = self._imm
+                    imm.value = None
+                    return imm
+            return self._compute_impl(cpu_us, mem_bytes, working_set)
+        return self._compute_traced(obs, cpu_us, mem_bytes, working_set)
+
+    def _compute_traced(
+        self,
+        obs,
+        cpu_us: float,
+        mem_bytes: float,
+        working_set: Optional[float],
+    ) -> Generator:
+        with obs.span(
+            "compute", node=self.thread.current_node, tid=self.tid,
+            cpu_us=cpu_us, mem_bytes=mem_bytes,
+        ):
             yield from self._compute_impl(cpu_us, mem_bytes, working_set)
-        else:
-            with obs.span(
-                "compute", node=self.thread.current_node, tid=self.tid,
-                cpu_us=cpu_us, mem_bytes=mem_bytes,
-            ):
-                yield from self._compute_impl(cpu_us, mem_bytes, working_set)
 
     def _compute_impl(
         self,
@@ -137,9 +242,16 @@ class ThreadContext:
         mem_bytes: float,
         working_set: Optional[float],
     ) -> Generator:
-        node = self.cluster.node(self.thread.current_node)
+        node = self.cluster.nodes[self.thread.current_node]
         engine = self.engine
-        yield node.cores.acquire()
+        cores = node.cores
+        if cores._in_use < cores.capacity:
+            # inlined uncontended Resource.acquire: take the slot without
+            # suspending — an already-granted slot resumes at the same
+            # instant either way
+            cores._in_use += 1
+        else:
+            yield cores.acquire()
         try:
             traffic = 0.0
             if mem_bytes > 0:
@@ -151,9 +263,21 @@ class ThreadContext:
             elif traffic > 0:
                 yield node.dram.consume(traffic)
             elif cpu_us > 0:
-                yield engine.timeout(cpu_us)
+                # reuse one private timeout per thread context: the
+                # previous sleep has fully settled (we were its sole
+                # waiter), so rearming replaces an allocation with a reset
+                sleep = self._sleep
+                if sleep is not None and sleep._done:
+                    yield sleep.rearm(cpu_us)
+                else:
+                    self._sleep = sleep = engine.timeout(cpu_us)
+                    yield sleep
         finally:
-            node.cores.release()
+            # inlined Resource.release for the held slot
+            if cores._waiters:
+                cores._waiters.popleft().succeed()
+            else:
+                cores._in_use -= 1
 
     def _miss_rate(self, working_set: Optional[float]) -> float:
         """Fraction of memory traffic that reaches DRAM: streaming from a
@@ -172,14 +296,13 @@ class ThreadContext:
 
     def read(self, addr: int, nbytes: int, site: str = "") -> Generator:
         """Read bytes through the distributed address space."""
-        data = yield from self.proc.faults.read(
+        return self.proc.faults.read(
             self.thread.current_node, self.tid, addr, nbytes, site
         )
-        return data
 
     def write(self, addr: int, data: bytes, site: str = "") -> Generator:
         """Write bytes through the distributed address space."""
-        yield from self.proc.faults.write(
+        return self.proc.faults.write(
             self.thread.current_node, self.tid, addr, data, site
         )
 
@@ -194,10 +317,9 @@ class ThreadContext:
         self, addr: int, nbytes: int, fn: Callable[[bytes], bytes], site: str = ""
     ) -> Generator:
         """Atomic read-modify-write (single page); returns the old bytes."""
-        old = yield from self.proc.faults.atomic_update(
+        return self.proc.faults.atomic_update(
             self.thread.current_node, self.tid, addr, nbytes, fn, site
         )
-        return old
 
     # convenience typed accessors ------------------------------------------------
 
@@ -217,13 +339,62 @@ class ThreadContext:
 
     def atomic_add_i64(self, addr: int, delta: int, site: str = "") -> Generator:
         """Atomically add *delta* to a 64-bit integer; returns the old value."""
-        old = yield from self.atomic_update(
-            addr,
-            8,
-            lambda raw: struct.pack("<q", struct.unpack("<q", raw)[0] + delta),
-            site,
-        )
-        return struct.unpack("<q", old)[0]
+        # Eager fast path: with an EXCLUSIVE PTE and no sanitizer the
+        # update is purely synchronous, so skip the generator machinery
+        # entirely and hand back the result as an Immediate.  Mirrors
+        # FaultHandler.atomic_add_i64, which remains the general path.
+        proc = self.proc
+        node = self.thread.current_node
+        page = self._page_size
+        vpn = addr // page
+        offset = addr - vpn * page
+        if proc.sanitizer is None and offset <= page - 8:
+            if node == self._state_node and proc.state_gen == self._state_gen:
+                state = self._state
+            else:
+                state = proc.node_state(node)
+                self._state_node = node
+                self._state_gen = proc.state_gen
+                self._state = state
+            pte = state.page_table._entries.get(vpn)
+            if pte is not None and pte.state is PageState.EXCLUSIVE:
+                frame = state.frames._frames.get(vpn)
+                if frame is None:
+                    frame = state.frames.frame(vpn)
+                old = _unpack_from("<q", frame, offset)[0]
+                _pack_into("<q", frame, offset, old + delta)
+                imm = self._imm
+                imm.value = old
+                return imm
+        return proc.faults.atomic_add_i64(node, self.tid, addr, delta, site)
+
+    def atomic_add_f64(self, addr: int, delta: float, site: str = "") -> Generator:
+        """Atomically add *delta* to an IEEE double; returns the old value.
+        Same eager fast path as :meth:`atomic_add_i64`."""
+        proc = self.proc
+        node = self.thread.current_node
+        page = self._page_size
+        vpn = addr // page
+        offset = addr - vpn * page
+        if proc.sanitizer is None and offset <= page - 8:
+            if node == self._state_node and proc.state_gen == self._state_gen:
+                state = self._state
+            else:
+                state = proc.node_state(node)
+                self._state_node = node
+                self._state_gen = proc.state_gen
+                self._state = state
+            pte = state.page_table._entries.get(vpn)
+            if pte is not None and pte.state is PageState.EXCLUSIVE:
+                frame = state.frames._frames.get(vpn)
+                if frame is None:
+                    frame = state.frames.frame(vpn)
+                old = _unpack_from("<d", frame, offset)[0]
+                _pack_into("<d", frame, offset, old + delta)
+                imm = self._imm
+                imm.value = old
+                return imm
+        return proc.faults.atomic_add_f64(node, self.tid, addr, delta, site)
 
     def atomic_add_u32(self, addr: int, delta: int, site: str = "") -> Generator:
         old = yield from self.atomic_update(

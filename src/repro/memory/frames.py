@@ -60,6 +60,13 @@ class FrameStore:
     def read(self, addr: int, length: int) -> bytes:
         """Read *length* bytes starting at byte address *addr*, crossing
         page boundaries as needed.  Pages never touched read as zeros."""
+        vpn, offset = divmod(addr, self.page_size)
+        if offset + length <= self.page_size:
+            # hot path: the access fits in one page
+            frame = self._frames.get(vpn)
+            if frame is None:
+                return bytes(length)
+            return bytes(frame[offset : offset + length])
         out = bytearray()
         remaining = length
         while remaining > 0:
@@ -76,6 +83,10 @@ class FrameStore:
 
     def write(self, addr: int, data: bytes) -> None:
         """Write *data* starting at byte address *addr*."""
+        vpn, offset = divmod(addr, self.page_size)
+        if offset + len(data) <= self.page_size:
+            self.frame(vpn)[offset : offset + len(data)] = data
+            return
         pos = 0
         while pos < len(data):
             vpn, offset = divmod(addr + pos, self.page_size)

@@ -49,17 +49,15 @@ class BufferPool:
             # let the deadlock detector's engine watcher see the stall:
             # buffer-pool exhaustion is a blocking site like any other, and
             # a stuck simulation's post-mortem must name exhausted pools
-            for hook in self.engine.hooks:
-                notify = getattr(hook, "on_pool_stall", None)
-                if notify is not None:
-                    notify(self)
+            # (the engine pre-binds each hook's on_pool_* methods at
+            # add_hook time, so the hookless case iterates an empty list)
+            for notify in self.engine._hooks_pool_stall:
+                notify(self)
             try:
                 yield grant
             finally:
-                for hook in self.engine.hooks:
-                    notify = getattr(hook, "on_pool_resume", None)
-                    if notify is not None:
-                        notify(self)
+                for notify in self.engine._hooks_pool_resume:
+                    notify(self)
             return
         yield grant
 

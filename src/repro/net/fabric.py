@@ -21,8 +21,9 @@ from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.core.errors import NodeFailedError
 from repro.net import rdma
+from repro.net import messages as _messages
 from repro.net.buffers import BufferPool, RdmaSink
-from repro.net.messages import Message, MsgType
+from repro.net.messages import Message, MsgType, recycle_message
 from repro.net.retry import backoff_delay, timeout_base_us
 from repro.net.verbs import Router
 from repro.obs.tracing import maybe_span
@@ -97,6 +98,11 @@ class Network:
                     )
         self.messages_sent = 0
         self.page_payloads = 0
+        self.loopback_deliveries = 0
+        #: message-freelist recycling is only sound when no other component
+        #: retains message objects: the reliable transport (chaos runs)
+        #: retransmits requests and caches replies, so it closes the gate
+        self._recycle = _messages.FREELIST_DEFAULT and chaos is None
 
     def connection(self, src: int, dst: int) -> Connection:
         try:
@@ -135,6 +141,15 @@ class Network:
                 # remember outbound replies so a duplicate of the request
                 # can be answered idempotently if this copy is lost
                 self.routers[msg.src].note_reply_sent(msg)
+        if msg.src == msg.dst:
+            # kernel-local loopback: no NIC, pools, or wire involved —
+            # the message is handed to this node's own router at zero
+            # simulated cost, and (having never touched a lossy link)
+            # delivery is reliable even under fault injection
+            self.messages_sent += 1
+            self.loopback_deliveries += 1
+            self.routers[msg.dst].dispatch(msg)
+            return
         conn = self.connection(msg.src, msg.dst)
         params = self.params
         self.messages_sent += 1
@@ -150,11 +165,11 @@ class Network:
         # claim a position in the connection's in-order delivery chain at
         # post time (RC semantics: receive order == post order)
         predecessor = conn._delivery_tail
-        delivered = self.engine.event(name=f"delivered#{msg.msg_id}")
+        delivered = self.engine.event(name="delivered")
         conn._delivery_tail = delivered
         wire_proc = self.engine.process(
             self._wire(conn, msg, wire_bytes, predecessor, delivered),
-            name=f"wire#{msg.msg_id}",
+            name="wire",
         )
         tracer = self.engine.tracer
         if tracer is not None:
@@ -162,7 +177,7 @@ class Network:
 
     def post(self, msg: Message):
         """Fire-and-forget send, run as its own process."""
-        return self.engine.process(self.send(msg), name=f"send#{msg.msg_id}")
+        return self.engine.process(self.send(msg), name="send")
 
     def request(self, msg: Message) -> Generator:
         """Generator: send *msg* and wait for the correlated reply message.
@@ -171,18 +186,38 @@ class Network:
         With fault injection enabled the request rides the reliable
         transport (:meth:`_request_with_retry`); otherwise it is the plain
         single-shot path, kept verbatim so chaos-off sim time is
-        bit-identical."""
+        bit-identical.  On that path the request object is recycled once
+        the reply arrives: by then the responder's handler has posted the
+        reply (its final use of the request) and the wire process has
+        delivered, so the requester holds the only live reference."""
         if self.chaos is not None:
             reply = yield from self._request_with_retry(msg)
             return reply
+        tracer = self.engine.tracer
+        if tracer is None:
+            reply_event = self.routers[msg.src].expect_reply(msg.msg_id)
+            yield from self._send_impl(msg)
+            reply = yield reply_event
+            if self._recycle:
+                recycle_message(msg)
+            return reply
         with maybe_span(
-            self.engine.tracer, "net.request", node=msg.src,
+            tracer, "net.request", node=msg.src,
             msg_type=msg.msg_type.value, dst=msg.dst,
         ):
             reply_event = self.routers[msg.src].expect_reply(msg.msg_id)
             yield from self.send(msg)
             reply = yield reply_event
+        if self._recycle:
+            recycle_message(msg)
         return reply
+
+    def recycle(self, msg: Message) -> None:
+        """Recycle a reply the caller has fully consumed.  No-op whenever
+        recycling is unsound (fault injection on, or the freelist knob is
+        off), so protocol code can call it unconditionally."""
+        if self._recycle:
+            recycle_message(msg)
 
     def _request_with_retry(self, msg: Message) -> Generator:
         """The reliable request path: retransmit on reply timeout with

@@ -5,14 +5,33 @@ and travel the verb path; page data is 4 KB and travels the RDMA path.  A
 :class:`Message` optionally carries ``page_data``; the transport routes the
 control part and the data part over the appropriate paths and delivers them
 together.
+
+Allocation discipline
+---------------------
+:class:`Message` is a ``slots=True`` dataclass, and the hot protocol paths
+recycle message objects through a bounded freelist
+(:func:`obtain_message` / :func:`recycle_message`, knob
+``DEX_MSG_FREELIST``).  Obtaining from the freelist is always safe; the
+*recycling* side is only reachable from well-defined death points:
+
+* a request message dies when its correlated reply arrives at the
+  requester — handlers must never retain a request past posting its
+  reply (every handler in this repo replies as its final act);
+* a reply message dies when the requester has extracted its fields.
+
+Both points live behind :meth:`repro.net.fabric.Network` gates that are
+closed whenever fault injection is enabled: the reliable transport
+retransmits request objects and caches replies for idempotent re-send, so
+under chaos no message is ever recycled.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
+import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 _msg_ids = itertools.count(1)
 
@@ -107,7 +126,7 @@ TIMEOUT_CLASSES: Dict[MsgType, str] = {
 }
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One unit of inter-node communication.
 
@@ -145,11 +164,11 @@ class Message:
         payload: Optional[Dict[str, Any]] = None,
         page_data: Optional[bytes] = None,
     ) -> "Message":
-        return Message(
-            msg_type=msg_type,
+        return obtain_message(
+            msg_type,
             src=self.dst,
             dst=self.src,
-            payload=payload or {},
+            payload=payload,
             page_data=page_data,
             reply_to=self.msg_id,
         )
@@ -160,3 +179,84 @@ class Message:
             f"<Msg {self.msg_type.value} {self.src}->{self.dst} "
             f"#{self.msg_id}{data}>"
         )
+
+
+# ----------------------------------------------------------------------
+# bounded freelist
+# ----------------------------------------------------------------------
+
+def _env_knob(name: str, default: bool) -> bool:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("0", "false", "off", "no", "")
+
+
+#: process-wide default; Engine/Network tests can override per instance
+FREELIST_DEFAULT = _env_knob("DEX_MSG_FREELIST", True)
+
+#: parked messages never exceed this (a rack sim has bounded in-flight
+#: traffic; anything beyond the cap is left to the garbage collector)
+_FREELIST_CAP = 1024
+
+_freelist: List[Message] = []
+
+
+def obtain_message(
+    msg_type: MsgType,
+    src: int,
+    dst: int,
+    payload: Optional[Dict[str, Any]] = None,
+    page_data: Optional[bytes] = None,
+    reply_to: Optional[int] = None,
+) -> Message:
+    """A :class:`Message`, reinitialised from the freelist when possible.
+
+    Freshly stamps ``msg_id`` from the global counter either way, so the
+    wire protocol cannot distinguish a recycled object from a new one —
+    runs with the freelist on and off are bit-identical.
+    """
+    if _freelist:
+        msg = _freelist.pop()
+        msg.msg_type = msg_type
+        msg.src = src
+        msg.dst = dst
+        msg.payload = payload if payload is not None else {}
+        msg.page_data = page_data
+        msg.msg_id = next(_msg_ids)
+        msg.reply_to = reply_to
+        msg.trace_id = None
+        msg.parent_span = None
+        return msg
+    return Message(
+        msg_type,
+        src,
+        dst,
+        payload if payload is not None else {},
+        page_data,
+        reply_to=reply_to,
+    )
+
+
+def recycle_message(msg: Message) -> None:
+    """Park a dead message for reuse.  Callers must hold the *only* live
+    reference; :class:`repro.net.fabric.Network` enforces this by never
+    recycling when fault injection is enabled (the reliable transport
+    caches and retransmits message objects)."""
+    if len(_freelist) < _FREELIST_CAP:
+        msg.payload = None  # type: ignore[assignment] — drop caller-owned refs
+        msg.page_data = None
+        _freelist.append(msg)
+
+
+def freelist_size() -> int:
+    """Current number of parked messages (diagnostics/tests)."""
+    return len(_freelist)
+
+
+#: shared payloads for fixed single-field replies; receivers treat
+#: payloads as read-only (there is no payload mutation in the tree), so
+#: one dict per outcome saves an allocation on every retry/redirect/ack
+PAYLOAD_RETRY: Dict[str, Any] = {"outcome": "retry"}
+PAYLOAD_REDIRECT: Dict[str, Any] = {"outcome": "redirect"}
+PAYLOAD_ACK_OK: Dict[str, Any] = {"ok": True}

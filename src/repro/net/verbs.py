@@ -46,6 +46,9 @@ class Router:
         #: the responder half of idempotent retransmission
         self._seen: "OrderedDict[int, Optional[Message]]" = OrderedDict()
         self.duplicates_dropped = 0
+        #: per-type handler process names, built once — the dispatch hot
+        #: path must not re-render an f-string per message
+        self._proc_names: Dict[MsgType, str] = {}
 
     def attach_chaos(self, chaos, net) -> None:
         """Enable the responder side of the reliable transport: duplicate
@@ -62,7 +65,7 @@ class Router:
         self._handlers[msg_type] = handler
 
     def expect_reply(self, msg_id: int) -> Event:
-        event = self.engine.event(name=f"reply#{msg_id}")
+        event = self.engine.event(name="reply")
         self._pending[msg_id] = event
         return event
 
@@ -103,9 +106,12 @@ class Router:
             self.engine._schedule_now(_raise)
             return
         self.dispatched += 1
-        proc = self.engine.process(
-            handler(msg), name=f"n{self.node_id}.{msg.msg_type.value}"
-        )
+        name = self._proc_names.get(msg.msg_type)
+        if name is None:
+            name = self._proc_names[msg.msg_type] = (
+                f"n{self.node_id}.{msg.msg_type.value}"
+            )
+        proc = self.engine.process(handler(msg), name=name)
         tracer = self.engine.tracer
         if tracer is not None:
             # open the handler's root span, parented on the trace context the

@@ -17,6 +17,9 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.thread import ThreadContext
     from repro.runtime.alloc import MemoryAllocator
 
+_I64 = np.dtype(np.int64)
+_F64 = np.dtype(np.float64)
+
 
 class DistArray:
     """A fixed-length typed array living in the distributed address space."""
@@ -94,7 +97,22 @@ class DistArray:
     def add(
         self, ctx: "ThreadContext", index: int, delta, site: str = ""
     ) -> Generator:
-        """Atomic in-place add to one element; returns the old value."""
+        """Atomic in-place add to one element; returns the old value.
+
+        The two dominant accumulator types route to the specialised
+        ThreadContext atomics (same fault/sanitizer semantics, identical
+        IEEE/two's-complement arithmetic, no numpy round trip); anything
+        else takes the generic read-modify-write closure path."""
+        dtype = self.dtype
+        if dtype == _I64:
+            return ctx.atomic_add_i64(self._addr_of(index), int(delta), site)
+        if dtype == _F64:
+            return ctx.atomic_add_f64(self._addr_of(index), float(delta), site)
+        return self._add_generic(ctx, index, delta, site)
+
+    def _add_generic(
+        self, ctx: "ThreadContext", index: int, delta, site: str = ""
+    ) -> Generator:
         dtype = self.dtype
 
         def bump(raw: bytes) -> bytes:

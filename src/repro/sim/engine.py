@@ -1,27 +1,76 @@
 """Deterministic discrete-event simulation engine.
 
-The engine keeps a priority queue of ``(time, sequence, event)`` entries.
-Simulated activities are generator functions wrapped in :class:`Process`;
-whenever a process yields a waitable (:class:`Event`, :class:`Timeout`, or
-another :class:`Process`), it is suspended until the waitable triggers, at
-which point the waitable's value is sent back into the generator (or its
-exception is thrown into it).
+The engine keeps two scheduling structures merged into one logical
+priority queue of ``[time, sequence, fn, args]`` entries:
+
+* a **heap** for entries scheduled in the future (``_schedule_at``), and
+* a same-time FIFO **fast lane** (a deque) for entries scheduled at the
+  current instant (``_schedule_now``) — event callbacks are by far the
+  hottest scheduling operation and a deque append/popleft is much cheaper
+  than a heap push/pop.
+
+Because the clock never moves backwards while entries are pending and the
+sequence number is monotonically increasing, the fast lane is always
+sorted by ``(time, sequence)``; the run loop merges the two structures by
+comparing their heads, which preserves the exact global dispatch order of
+a single heap.  Simulated activities are generator functions wrapped in
+:class:`Process`; whenever a process yields a waitable (:class:`Event`,
+:class:`Timeout`, or another :class:`Process`), it is suspended until the
+waitable triggers, at which point the waitable's value is sent back into
+the generator (or its exception is thrown into it).
 
 Time is a float in **microseconds**.  All ordering ties are broken by a
 monotonically increasing sequence number, which makes runs bit-for-bit
 reproducible for a fixed seed.
+
+Cancellation is *tagged*: a cancelled :class:`Timeout` nulls the ``fn``
+slot of its own queue entry, so the dispatcher skips it with a single
+``is None`` check instead of probing ``__self__`` attributes on every
+iteration; when cancelled entries pile up the heap is compacted in one
+pass.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 _UNSET = object()
+_INF = float("inf")
+
+
+def _env_knob(name: str, default: bool) -> bool:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("", "0", "off", "false", "no")
 
 
 class SimulationError(Exception):
     """Raised for illegal engine usage (double trigger, bad yield, ...)."""
+
+
+class Immediate:
+    """A ``yield from``-able carrying an already-computed result.
+
+    Fast paths that finish synchronously (no simulated time, no
+    suspension) can return ``Immediate(value)`` instead of a generator:
+    delegation consumes it without a single yield, so the caller's
+    ``result = yield from fn(...)`` works unchanged at a fraction of the
+    generator set-up cost."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any = None):
+        self.value = value
+
+    def __iter__(self) -> "Immediate":
+        return self
+
+    def __next__(self) -> Any:
+        raise StopIteration(self.value)
 
 
 class Interrupt(Exception):
@@ -93,7 +142,7 @@ class Event:
         """Run *fn(event)* when the event completes (immediately-scheduled
         if it already has)."""
         if self._done:
-            self.engine._schedule_now(lambda: fn(self))
+            self.engine._schedule_now(fn, self)
         else:
             assert self._callbacks is not None
             self._callbacks.append(fn)
@@ -107,15 +156,27 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed simulated delay."""
 
-    __slots__ = ("delay", "_cancelled")
+    __slots__ = ("delay", "_cancelled", "_entry")
 
     def __init__(self, engine: "Engine", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(engine, name=f"Timeout({delay})")
+        # Inlined Event.__init__ minus the f-string name: Timeouts are the
+        # most-allocated event type and the label is recomputed lazily by
+        # __repr__ on the rare debugging path instead.
+        self.engine = engine
+        self.name = ""
+        self._value = _UNSET
+        self._exc = None
+        self._done = False
+        self._callbacks = []
         self.delay = delay
         self._cancelled = False
-        engine._schedule_at(engine.now + delay, self._fire, value)
+        # inlined _schedule_at (Timeouts are the most-scheduled entry kind);
+        # delay >= 0 was checked above so `when` can never be in the past
+        engine._seq += 1
+        self._entry = entry = [engine.now + delay, engine._seq, self._fire, (value,)]
+        heapq.heappush(engine._queue, entry)
 
     def cancel(self) -> None:
         """Discard an untriggered timeout.  Its queue entry is skipped
@@ -124,24 +185,81 @@ class Timeout(Event):
         :meth:`Engine.run` drains the queue."""
         if not self._done and not self._cancelled:
             self._cancelled = True
-            self.engine._cancelled_entries += 1
+            entry = self._entry
+            entry[2] = None
+            entry[3] = None
+            self._entry = None
+            engine = self.engine
+            engine._cancelled_entries += 1
+            if (
+                engine._cancelled_entries > 64
+                and engine._cancelled_entries * 2 > len(engine._queue)
+            ):
+                engine._compact()
+
+    def rearm(self, delay: float) -> "Timeout":
+        """Reset an already-settled timeout and schedule it afresh.
+
+        Strictly for *private* single-waiter timeouts (e.g. the compute
+        sleep) whose previous firing has fully settled: the sole waiter was
+        resumed, nothing else holds a reference.  Consumes one sequence
+        number at the call site, exactly like constructing a new Timeout
+        here would, so dispatch order is unchanged."""
+        self._value = _UNSET
+        self._exc = None
+        self._done = False
+        self._callbacks = []
+        self.delay = delay
+        self._cancelled = False
+        engine = self.engine
+        engine._seq += 1
+        self._entry = entry = [engine.now + delay, engine._seq, self._fire, (None,)]
+        heapq.heappush(engine._queue, entry)
+        return self
 
     def _fire(self, value: Any) -> None:
-        self.succeed(value)
+        # Unlike succeed(), which may be reached from arbitrarily deep in
+        # model code and must defer callbacks to the queue, _fire only ever
+        # runs as a dispatched queue entry (top of stack), so its callbacks
+        # can run synchronously at this very dispatch position — saving a
+        # scheduling round trip per elapsed timeout.  Knob-gated with the
+        # other resume-collapsing optimisation and covered by the same
+        # determinism differential tests.
+        self._entry = None
+        engine = self.engine
+        if not engine._inline:
+            self.succeed(value)
+            return
+        if self._done:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._done = True
+        self._value = value
+        callbacks = self._callbacks
+        self._callbacks = None
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._done else "pending"
+        return f"<Timeout({self.delay}) {state} @{id(self):#x}>"
 
 
 class Process(Event):
     """A running generator.  As an :class:`Event`, it triggers when the
     generator returns (value = the ``return`` value) or raises."""
 
-    __slots__ = ("generator", "_waiting_on", "_interrupts")
+    __slots__ = ("generator", "_waiting_on", "_interrupts", "_resume_cb")
 
     def __init__(self, engine: "Engine", generator: Generator, name: str = ""):
         super().__init__(engine, name=name or getattr(generator, "__name__", "process"))
         self.generator = generator
         self._waiting_on: Optional[Event] = None
         self._interrupts: List[Interrupt] = []
-        engine._schedule_now(lambda: self._resume(None))
+        # bind once: every wait registers this callback, and a fresh bound
+        # method per yield is measurable allocation churn on the hot loop
+        self._resume_cb = self._resume
+        engine._schedule_now(self._resume_cb, None)
 
     @property
     def is_alive(self) -> bool:
@@ -152,13 +270,10 @@ class Process(Event):
         if self._done:
             return
         self._interrupts.append(Interrupt(cause))
-        waiting = self._waiting_on
+        # Detach from the event we were waiting on; the stale callback
+        # checks _waiting_on and becomes a no-op.
         self._waiting_on = None
-        if waiting is not None:
-            # Detach from the event we were waiting on; the stale callback
-            # checks _waiting_on and becomes a no-op.
-            pass
-        self.engine._schedule_now(lambda: self._step(_UNSET, None))
+        self.engine._schedule_now(self._step, _UNSET, None)
 
     def _resume(self, event: Optional[Event]) -> None:
         if self._done:
@@ -177,40 +292,58 @@ class Process(Event):
         if self._done:
             return
         engine = self.engine
+        generator = self.generator
         prev = engine.current_process
-        engine.current_process = self
-        try:
-            if self._interrupts:
-                target = self.generator.throw(self._interrupts.pop(0))
-            elif exc is not None:
-                target = self.generator.throw(exc)
-            else:
-                target = self.generator.send(value)
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            return
-        except BaseException as err:  # noqa: BLE001 - propagate to waiters
-            if isinstance(err, (KeyboardInterrupt, SystemExit)):
-                raise
-            self.fail(err)
-            return
-        finally:
-            engine.current_process = prev
-        if not isinstance(target, Event):
-            self.fail(
-                SimulationError(
-                    f"process {self.name!r} yielded {target!r}; only Event "
-                    "instances (Timeout, Process, Event) may be yielded"
+        inline = engine._inline
+        # The loop continues stepping inline when the yielded waitable has
+        # already triggered (knob-gated; see Engine._inline), avoiding a
+        # full scheduling round trip per already-done yield.
+        while True:
+            engine.current_process = self
+            try:
+                if self._interrupts:
+                    target = generator.throw(self._interrupts.pop(0))
+                elif exc is not None:
+                    target = generator.throw(exc)
+                else:
+                    target = generator.send(value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as err:  # noqa: BLE001 - propagate to waiters
+                if isinstance(err, (KeyboardInterrupt, SystemExit)):
+                    raise
+                self.fail(err)
+                return
+            finally:
+                engine.current_process = prev
+            if not isinstance(target, Event):
+                self.fail(
+                    SimulationError(
+                        f"process {self.name!r} yielded {target!r}; only Event "
+                        "instances (Timeout, Process, Event) may be yielded"
+                    )
                 )
-            )
-            return
-        self._waiting_on = target
-        if self.engine.hooks:
-            for hook in self.engine.hooks:
-                waiting = getattr(hook, "on_process_waiting", None)
-                if waiting is not None:
+                return
+            self._waiting_on = target
+            hooks = engine._hooks_waiting
+            if hooks:
+                for waiting in hooks:
                     waiting(self, target)
-        target.add_callback(self._resume)
+            if inline and target._done and not self._interrupts:
+                self._waiting_on = None
+                if target._exc is not None:
+                    value, exc = _UNSET, target._exc
+                else:
+                    value, exc = target._value, None
+                continue
+            # inlined target.add_callback(self._resume_cb): this is the
+            # single hottest callback registration in the simulator
+            if target._done:
+                engine._schedule_now(self._resume_cb, target)
+            else:
+                target._callbacks.append(self._resume_cb)
+            return
 
 
 class AllOf(Event):
@@ -279,15 +412,49 @@ class Engine:
         proc = eng.process(hello())
         eng.run()
         assert eng.now == 5.0 and proc.value == "done"
+
+    ``fastlane`` and ``inline`` select the same-time FIFO fast lane and
+    the inline-resume optimisation; both default from the environment
+    (``DEX_ENGINE_FASTLANE`` / ``DEX_ENGINE_INLINE``, default on) and both
+    are verified order-preserving by the determinism differential tests.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    __slots__ = (
+        "now",
+        "_queue",
+        "_fastlane",
+        "_seq",
+        "_running",
+        "_cancelled_entries",
+        "seed",
+        "_rng",
+        "hooks",
+        "_hooks_created",
+        "_hooks_waiting",
+        "_hooks_finished",
+        "_hooks_pool_stall",
+        "_hooks_pool_resume",
+        "current_process",
+        "tracer",
+        "_fastlane_on",
+        "_inline",
+        "events_dispatched",
+    )
+
+    def __init__(
+        self,
+        seed: int = 0,
+        fastlane: Optional[bool] = None,
+        inline: Optional[bool] = None,
+    ) -> None:
         self.now: float = 0.0
-        self._queue: List = []
+        self._queue: List[list] = []
+        self._fastlane: deque = deque()
         self._seq = 0
         self._running = False
-        #: cancelled Timeout entries still sitting in the queue; the run
-        #: loop only pays the skip check while this is non-zero
+        #: cancelled Timeout entries still sitting in the queue; entries
+        #: are tagged (fn slot nulled) and skipped with one ``is None``
+        #: check, and the heap is compacted when they pile up
         self._cancelled_entries = 0
         #: master seed for this simulation; every stochastic choice (chaos
         #: schedules, workload init) must derive from it so runs are
@@ -295,14 +462,29 @@ class Engine:
         self.seed = seed
         self._rng: Optional[Any] = None
         #: observers of process lifecycle (see :meth:`add_hook`); empty in
-        #: normal runs, so every hook site is one falsy check
+        #: normal runs, so every hook site is one falsy check.  The
+        #: per-kind lists below are pre-bound methods populated at
+        #: ``add_hook`` time so hot paths never getattr-probe a hook.
         self.hooks: List[Any] = []
+        self._hooks_created: List[Callable] = []
+        self._hooks_waiting: List[Callable] = []
+        self._hooks_finished: List[Callable] = []
+        self._hooks_pool_stall: List[Callable] = []
+        self._hooks_pool_resume: List[Callable] = []
         #: the Process whose generator is currently executing (None between
         #: steps); the repro.obs tracer keys span stacks by this
         self.current_process: Optional[Any] = None
         #: the repro.obs Tracer attached to this engine, or None (tracing
         #: off); instrumented code guards on this single attribute
         self.tracer: Optional[Any] = None
+        self._fastlane_on = (
+            _env_knob("DEX_ENGINE_FASTLANE", True) if fastlane is None else fastlane
+        )
+        self._inline = (
+            _env_knob("DEX_ENGINE_INLINE", True) if inline is None else inline
+        )
+        #: total dispatches across all run() calls (perf accounting)
+        self.events_dispatched = 0
 
     @property
     def rng(self) -> Any:
@@ -320,30 +502,74 @@ class Engine:
     def add_hook(self, hook: Any) -> None:
         """Register a process-lifecycle observer.  A hook may implement
         ``on_process_created(process)``, ``on_process_waiting(process,
-        event)``, and ``on_process_finished(process)``; the engine calls
-        whichever exist.  Used by the repro.check diagnostics layer."""
+        event)``, ``on_process_finished(process)``, ``on_pool_stall(pool,
+        process)``, and ``on_pool_resume(pool, process)``; the engine calls
+        whichever exist.  Methods are bound once here so dispatch sites
+        iterate pre-built lists instead of getattr-probing per call.  Used
+        by the repro.check and repro.obs diagnostics layers."""
         self.hooks.append(hook)
+        for attr, bucket in (
+            ("on_process_created", self._hooks_created),
+            ("on_process_waiting", self._hooks_waiting),
+            ("on_process_finished", self._hooks_finished),
+            ("on_pool_stall", self._hooks_pool_stall),
+            ("on_pool_resume", self._hooks_pool_resume),
+        ):
+            method = getattr(hook, attr, None)
+            if method is not None:
+                bucket.append(method)
 
     # -- scheduling primitives ------------------------------------------
 
-    def _schedule_at(self, when: float, fn: Callable, *args: Any) -> None:
+    def _schedule_at(self, when: float, fn: Callable, *args: Any) -> list:
         if when < self.now:
             raise SimulationError(f"cannot schedule in the past ({when} < {self.now})")
         self._seq += 1
-        heapq.heappush(self._queue, (when, self._seq, fn, args))
+        entry = [when, self._seq, fn, args]
+        heapq.heappush(self._queue, entry)
+        return entry
 
     def _schedule_now(self, fn: Callable, *args: Any) -> None:
-        self._schedule_at(self.now, fn, *args)
+        if self._fastlane_on:
+            self._seq += 1
+            self._fastlane.append([self.now, self._seq, fn, args])
+        else:
+            self._schedule_at(self.now, fn, *args)
 
     def _schedule_callbacks(self, event: Event) -> None:
-        callbacks, event._callbacks = event._callbacks, None
+        callbacks = event._callbacks
+        event._callbacks = None
         if callbacks:
-            self._schedule_now(self._run_callbacks, event, callbacks)
+            # the single-callback case (one waiter) dispatches the callback
+            # directly at the identical queue position, skipping the
+            # _run_callbacks trampoline; the append is _schedule_now inlined
+            if self._fastlane_on:
+                self._seq += 1
+                if len(callbacks) == 1:
+                    self._fastlane.append(
+                        [self.now, self._seq, callbacks[0], (event,)]
+                    )
+                else:
+                    self._fastlane.append(
+                        [self.now, self._seq, self._run_callbacks, (event, callbacks)]
+                    )
+            elif len(callbacks) == 1:
+                self._schedule_at(self.now, callbacks[0], event)
+            else:
+                self._schedule_at(self.now, self._run_callbacks, event, callbacks)
 
     @staticmethod
     def _run_callbacks(event: Event, callbacks: List[Callable]) -> None:
         for fn in callbacks:
             fn(event)
+
+    def _compact(self) -> None:
+        """Drop tagged (cancelled) entries from the heap in one pass.
+
+        In place: run() holds a local alias of the heap list."""
+        self._queue[:] = [entry for entry in self._queue if entry[2] is not None]
+        heapq.heapify(self._queue)
+        self._cancelled_entries = 0
 
     # -- public factories ------------------------------------------------
 
@@ -356,18 +582,14 @@ class Engine:
     def process(self, generator: Generator, name: str = "") -> Process:
         proc = Process(self, generator, name=name)
         if self.hooks:
-            for hook in self.hooks:
-                created = getattr(hook, "on_process_created", None)
-                if created is not None:
-                    created(proc)
+            for created in self._hooks_created:
+                created(proc)
             proc.add_callback(self._notify_finished)
         return proc
 
     def _notify_finished(self, proc: Event) -> None:
-        for hook in self.hooks:
-            finished = getattr(hook, "on_process_finished", None)
-            if finished is not None:
-                finished(proc)
+        for finished in self._hooks_finished:
+            finished(proc)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
@@ -392,19 +614,49 @@ class Engine:
             raise SimulationError("run() is not reentrant")
         self._running = True
         dispatched = 0
+        queue = self._queue
+        fastlane = self._fastlane
+        heappop = heapq.heappop
+        limit = _INF if until is None else until
         try:
-            while self._queue:
-                when, _seq, fn, args = self._queue[0]
-                if self._cancelled_entries:
-                    owner = getattr(fn, "__self__", None)
-                    if owner is not None and getattr(owner, "_cancelled", False):
-                        heapq.heappop(self._queue)
-                        self._cancelled_entries -= 1
-                        continue
-                if until is not None and when > until:
-                    self.now = until
+            while True:
+                # merge the fast lane and the heap by comparing heads;
+                # list comparison orders by (when, seq) and seq is unique
+                if fastlane:
+                    if queue and queue[0] < fastlane[0]:
+                        entry = queue[0]
+                        from_heap = True
+                    else:
+                        entry = fastlane[0]
+                        from_heap = False
+                elif queue:
+                    entry = queue[0]
+                    from_heap = True
+                else:
+                    if until is not None and until > self.now:
+                        self.now = until
                     break
-                heapq.heappop(self._queue)
+                when, _seq, fn, args = entry
+                if fn is None:
+                    # tagged (cancelled) entry: skip without advancing time
+                    if from_heap:
+                        heappop(queue)
+                    else:
+                        fastlane.popleft()
+                    self._cancelled_entries -= 1
+                    continue
+                if when > limit:
+                    self.now = until
+                    # `until` may rewind the clock below pending same-time
+                    # entries; spill the fast lane so its sortedness
+                    # invariant survives for the next run() call
+                    while fastlane:
+                        heapq.heappush(queue, fastlane.popleft())
+                    break
+                if from_heap:
+                    heappop(queue)
+                else:
+                    fastlane.popleft()
                 self.now = when
                 fn(*args)
                 dispatched += 1
@@ -412,11 +664,9 @@ class Engine:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; likely a livelock"
                     )
-            else:
-                if until is not None:
-                    self.now = max(self.now, until)
         finally:
             self._running = False
+            self.events_dispatched += dispatched
         return self.now
 
     def run_process(self, generator: Generator, name: str = "") -> Any:

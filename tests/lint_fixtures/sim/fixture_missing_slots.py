@@ -1,0 +1,35 @@
+"""Fixture for the slots-discipline rule: lives under a ``sim`` path, so
+every class here must declare ``__slots__`` unless exempt."""
+
+import enum
+from dataclasses import dataclass
+
+
+class BadEvent:  # flagged: no __slots__
+    def __init__(self):
+        self.value = None
+
+
+class GoodEvent:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = None
+
+
+@dataclass(slots=True)
+class GoodRecord:
+    value: int = 0
+
+
+@dataclass
+class BadRecord:  # flagged: dataclass without slots=True
+    value: int = 0
+
+
+class Kind(enum.Enum):  # exempt: enums carry their own machinery
+    A = "a"
+
+
+class BoomError(Exception):  # exempt: exception classes
+    pass

@@ -23,6 +23,7 @@ def test_rule_registry_is_complete():
         "sim-nondeterminism",
         "yield-discipline",
         "span-discipline",
+        "slots-discipline",
         "retry-discipline",
     )
 
@@ -75,6 +76,40 @@ def test_span_discipline_fixture():
     for key in ("trace_id", "parent_span", "span_id"):
         assert f"dict key {key!r}" in messages
     assert len(violations) == 5  # the sanctioned with-forms are not flagged
+
+
+def test_slots_discipline_fixture():
+    fixture = FIXTURES / "sim" / "fixture_missing_slots.py"
+    violations = lint_paths([fixture])
+    assert rules_of(violations) == ["slots-discipline"]
+    flagged = {v.message.split()[1] for v in violations}
+    # plain class and slot-less dataclass are flagged; the slotted class,
+    # the dataclass(slots=True), the enum, and the exception are not
+    assert flagged == {"BadEvent", "BadRecord"}
+    assert all(v.line > 0 for v in violations)
+
+
+def test_slots_discipline_scope_is_engine_core_paths():
+    # the same slot-less class outside sim/ (and not net/messages.py)
+    # is not this rule's business
+    fixture = FIXTURES / "plain_module.py"
+    fixture.write_text("class SlotLess:\n    def __init__(self):\n"
+                       "        self.x = 1\n")
+    try:
+        assert lint_paths([fixture]) == []
+    finally:
+        fixture.unlink()
+    # ... but a net/messages.py is
+    net_dir = FIXTURES / "net"
+    net_dir.mkdir(exist_ok=True)
+    fixture = net_dir / "messages.py"
+    fixture.write_text("class SlotLess:\n    def __init__(self):\n"
+                       "        self.x = 1\n")
+    try:
+        assert rules_of(lint_paths([fixture])) == ["slots-discipline"]
+    finally:
+        fixture.unlink()
+        net_dir.rmdir()
 
 
 def test_retry_discipline_fixture():

@@ -40,6 +40,32 @@ def test_self_send_rejected():
         net.connection(0, 0)
 
 
+def test_same_node_request_is_loopback():
+    """src == dst bypasses connections, pools, and the wire entirely:
+    delivery is synchronous kernel-local dispatch at zero simulated cost."""
+    eng, net, _ = make_net()
+
+    def handler(msg):
+        yield from net.send(msg.make_reply(MsgType.PONG, {"echo": 1}))
+
+    net.router(0).register(MsgType.PING, handler)
+
+    def client():
+        start = eng.now
+        reply = yield from net.request(Message(MsgType.PING, 0, 0))
+        return reply.payload["echo"], eng.now - start
+
+    echo, elapsed = eng.run_process(client())
+    assert echo == 1
+    assert elapsed == 0.0                 # no wire latency charged
+    assert net.loopback_deliveries == 2   # request and reply
+    assert net.messages_sent == 2
+    # no pool slot was ever taken for the loopback traffic
+    assert all(
+        conn.send_pool.acquisitions == 0 for conn in net.connections.values()
+    )
+
+
 def test_unhandled_message_type_raises():
     eng, net, _ = make_net()
     net.post(Message(MsgType.PING, 0, 1))

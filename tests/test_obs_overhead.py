@@ -1,13 +1,16 @@
-"""The tracing-off zero-cost guarantee, guarded three ways:
+"""The diagnostics-off zero-cost guarantee, guarded three ways:
 
 1. structurally — with ``DEX_TRACE`` unset no tracer object exists, hot
    paths see ``proc.obs is None``, the engine runs with empty hooks, and
-   messages carry no trace context;
+   messages carry no trace context; the same single-attribute shape holds
+   for the chaos (``cluster.chaos is None``) and check
+   (``proc.sanitizer``/``proc.deadlocks is None``) layers;
 2. semantically — tracing on/off yields bit-identical simulated time and
    fault counts (instrumentation must never perturb the model);
-3. a microbound — the entire per-fault off-mode cost (a generous
-   over-count of guard evaluations times the measured cost of one guard)
-   must stay under 3% of the measured per-fault wall time.
+3. a microbound — the entire per-fault off-mode cost of all three
+   diagnostic layers (a generous over-count of guard evaluations times
+   the measured cost of each real guard) must stay under 3% of the
+   measured per-fault wall time.
 
 CI's ``check`` job runs this file explicitly with ``DEX_TRACE`` unset.
 """
@@ -65,6 +68,25 @@ def test_off_mode_is_structurally_zero_cost(monkeypatch):
     assert msg.trace_id is None and msg.parent_span is None
 
 
+def test_chaos_and_check_off_paths_are_single_attribute(monkeypatch):
+    """With every diagnostic layer off, each dispatch-adjacent guard is one
+    attribute load against None (or a flag snapshotted at construction) —
+    no object graphs, no hook lists, no getattr probing."""
+    monkeypatch.delenv("DEX_TRACE", raising=False)
+    cluster, proc = _run_workload(trace=None)
+    assert cluster.chaos is None
+    assert proc.sanitizer is None
+    assert proc.deadlocks is None
+    eng = cluster.engine
+    assert eng.hooks == []
+    # the pre-bound per-kind hook lists the dispatch sites iterate
+    assert eng._hooks_created == [] and eng._hooks_waiting == []
+    assert eng._hooks_finished == []
+    assert eng._hooks_pool_stall == [] and eng._hooks_pool_resume == []
+    # chaos-off collapses message recycling to one snapshotted flag
+    assert cluster.net._recycle is True
+
+
 def test_trace_knob_resolution(monkeypatch):
     monkeypatch.delenv("DEX_TRACE", raising=False)
     assert DexCluster(num_nodes=2, params=SimParams(trace="")).tracer is None
@@ -89,17 +111,24 @@ def test_tracing_does_not_perturb_the_simulation():
 def test_off_mode_guard_cost_within_three_percent(monkeypatch):
     monkeypatch.delenv("DEX_TRACE", raising=False)
     start = perf_counter()
-    _, proc = _run_workload(trace=None)
+    cluster, proc = _run_workload(trace=None)
     wall = perf_counter() - start
     faults = proc.stats.total_faults
     assert faults > 0
     per_fault_wall = wall / faults
     # the off-mode cost per instrumented site is one attribute load plus a
-    # None check; measure the real primitive on the real object
+    # None check; measure the real primitives on the real objects, one per
+    # diagnostic layer (obs, check's sanitizer + deadlock detector, chaos)
     n = 20_000
-    guard_cost = min(
-        timeit.repeat(lambda: proc.obs is None, number=n, repeat=5)
-    ) / n
+    guards = (
+        lambda: proc.obs is None,
+        lambda: proc.sanitizer is None,
+        lambda: proc.deadlocks is None,
+        lambda: cluster.chaos is None,
+    )
+    guard_cost = sum(
+        min(timeit.repeat(guard, number=n, repeat=5)) / n for guard in guards
+    ) / len(guards)
     assert guard_cost * GUARDS_PER_FAULT <= 0.03 * per_fault_wall, (
         f"off-mode guards cost {guard_cost * GUARDS_PER_FAULT * 1e6:.2f}us "
         f"per fault, over 3% of the {per_fault_wall * 1e6:.1f}us per-fault "
