@@ -4,6 +4,11 @@ With no paths, lints the installed ``repro`` package (repo mode, with
 the offline-tooling exemptions).  With explicit paths, lints exactly
 those files/directories with no exemptions — which is what the lint
 fixtures in the test suite use.  Exits nonzero when any rule fires.
+
+This entry point is a thin shim: the seven lint rules now live on the
+DexVet framework (``repro.vet``), which also runs them — plus the
+whole-program message-graph and effect rules — via
+``python -m repro.vet`` (see DESIGN.md §11).
 """
 
 from __future__ import annotations

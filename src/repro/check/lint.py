@@ -1,6 +1,14 @@
 """The repo-specific static lint pass (``python -m repro.check --lint``).
 
-Seven AST-based rules, each encoding an invariant of this codebase that a
+As of the DexVet PR this module is a thin shim: the seven rules live on
+the shared whole-program analysis framework in :mod:`repro.vet.legacy`
+(same semantics, same messages), and this module keeps the original
+entry points — ``RULES``, :class:`LintViolation`, :func:`lint_paths`,
+:func:`lint_repo` — so existing callers and CI keep working.  New rules
+(message-graph totality, effect inference, baseline suppression) are
+only reachable through ``python -m repro.vet``.
+
+The seven rules, each encoding an invariant of this codebase that a
 generic linter cannot know:
 
 * ``unhandled-message-type`` — every ``MsgType`` enum member must be
@@ -23,605 +31,43 @@ generic linter cannot know:
   (events/timeouts/processes); a bare ``yield`` or a constant yield is
   a latent ``SimulationError`` the engine will throw at runtime.
 * ``span-discipline`` — tracing spans must be closed by a context
-  manager: every ``.span(...)``/``maybe_span(...)`` call must be a
-  ``with``-statement item, or the span leaks open (its ``end_us`` never
-  stamps and nesting under it corrupts the tree).  And trace ids may
-  only cross processes through the sanctioned ``Message`` header fields,
-  never smuggled through ad-hoc dict payloads — so the string keys
-  ``"trace_id"``/``"parent_span"``/``"span_id"`` are banned in dict
-  literals.  The ``obs`` package itself (which implements the
-  machinery) is exempt in repo mode.
+  manager, and trace ids may only cross processes through the
+  sanctioned ``Message`` header fields.
 * ``slots-discipline`` — every class on an engine-core path (a ``sim``
   package, or the message layer ``net/messages.py``) must declare
-  ``__slots__``, either as a class-body literal or via
-  ``@dataclass(slots=True)``.  These are the highest-volume objects in
-  the simulator (events, timeouts, queue entries, messages); a silent
-  instance ``__dict__`` costs memory and attribute-lookup time exactly
-  where the hot loop lives, and hides typo'd attribute writes the slots
-  layout would reject.  Enum and exception classes are exempt (both are
-  rare, and exceptions carry ``args`` machinery of their own).
-* ``retry-discipline`` — the reliable transport owns retransmission.
-  Every request-class message (a ``Message(MsgType.X, ...)`` that flows
-  into ``.request(...)``) must declare a timeout class in the
-  ``TIMEOUT_CLASSES`` dict, or the retry loop has no deadline to start
-  from.  And no code may hand-roll an exponential retransmit loop: a
-  ``while`` that sends and scales its own delay (``*=`` / ``**``) must
-  use :func:`repro.net.retry.backoff_delay`, which caps the delay and
-  pairs with a bounded attempt budget.  Constant-delay retry loops
-  (directory-busy backoff) are fine.
+  ``__slots__``.
+* ``retry-discipline`` — every request-class message declares a timeout
+  class in ``TIMEOUT_CLASSES``, and nobody hand-rolls exponential
+  retransmit loops (use :func:`repro.net.retry.backoff_delay`).
 """
 
 from __future__ import annotations
 
-import ast
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence
 
-RULES = (
-    "unhandled-message-type",
-    "directory-encapsulation",
-    "sim-nondeterminism",
-    "yield-discipline",
-    "span-discipline",
-    "slots-discipline",
-    "retry-discipline",
-)
+from repro.vet import build_context, run_rules
+from repro.vet.legacy import LEGACY_RULES
+from repro.vet.loader import package_root
+from repro.vet.rules import Violation as LintViolation
 
-#: attribute names that are directory storage internals
-_DIRECTORY_INTERNALS = frozenset({"directory_shard", "shard_map", "_lru"})
-#: the one module allowed to touch them
-_DIRECTORY_MODULE = "directory.py"
-
-#: fully dotted call suffixes that read wall clocks or OS entropy
-_WALL_CLOCK_CALLS = frozenset({
-    ("time", "time"),
-    ("time", "time_ns"),
-    ("time", "monotonic"),
-    ("time", "monotonic_ns"),
-    ("time", "perf_counter"),
-    ("time", "perf_counter_ns"),
-    ("datetime", "now"),
-    ("datetime", "utcnow"),
-    ("os", "urandom"),
-    ("uuid", "uuid4"),
-})
-
-#: numpy.random constructors that are deterministic when given a seed
-_SEEDED_RNG_CTORS = frozenset({"default_rng", "RandomState", "SeedSequence",
-                               "Generator", "PCG64", "Philox"})
-
-#: modules exempt from the nondeterminism rule when linting the repo:
-#: offline tooling that never runs inside a simulation
-_NONDETERMINISM_EXEMPT_PARTS = ("bench", "tools", "check")
-
-#: packages exempt from the span-discipline rule when linting the repo:
-#: the tracing machinery itself builds spans and serializes their ids
-_SPAN_EXEMPT_PARTS = ("obs",)
-
-#: dict keys that would smuggle trace context outside the Message fields
-_TRACE_ID_KEYS = frozenset({"trace_id", "parent_span", "span_id"})
+RULES = LEGACY_RULES
 
 
-@dataclass
-class LintViolation:
-    rule: str
-    path: str
-    line: int
-    message: str
-
-    def format(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-def _iter_python_files(paths: Sequence[Path]) -> List[Path]:
-    files: List[Path] = []
-    for path in paths:
-        if path.is_dir():
-            files.extend(sorted(path.rglob("*.py")))
-        else:
-            files.append(path)
-    return files
-
-
-def _dotted_name(node: ast.AST) -> Tuple[str, ...]:
-    """The attribute chain of *node* as a name tuple, e.g.
-    ``np.random.default_rng`` -> ``("np", "random", "default_rng")``."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return tuple(reversed(parts))
-    return ()
-
-
-def _msgtype_member(node: ast.AST) -> Optional[str]:
-    """The member name when *node* is a ``MsgType.X`` reference."""
-    if (
-        isinstance(node, ast.Attribute)
-        and isinstance(node.value, ast.Name)
-        and node.value.id == "MsgType"
-    ):
-        return node.attr
-    return None
-
-
-def _message_ctor_member(node: ast.AST) -> Optional[str]:
-    """The MsgType member when *node* is a ``Message(MsgType.X, ...)`` call."""
-    if (
-        isinstance(node, ast.Call)
-        and isinstance(node.func, ast.Name)
-        and node.func.id == "Message"
-        and node.args
-    ):
-        return _msgtype_member(node.args[0])
-    return None
-
-
-class _ModuleScan:
-    """Everything one parsed module contributes to the lint rules."""
-
-    def __init__(self, path: Path, tree: ast.Module):
-        self.path = path
-        self.tree = tree
-        #: MsgType members defined here: name -> line
-        self.msgtype_members: Dict[str, int] = {}
-        self.defines_msgtype = False
-        #: members referenced in handler positions
-        self.handled_members: Set[str] = set()
-        #: members used as dict-literal keys (only counts as handling
-        #: outside the defining module, to ignore size/metadata tables)
-        self.dict_key_members: Set[str] = set()
-        #: keys of a ``TIMEOUT_CLASSES = {...}`` dict literal defined here
-        self.timeout_class_members: Set[str] = set()
-        self.defines_timeout_classes = False
-        #: MsgType members this module passes to ``.request(...)``:
-        #: (member, line), resolved through function-local
-        #: ``msg = Message(MsgType.X, ...)`` bindings
-        self.requested_members: List[Tuple[str, int]] = []
-        self._collect()
-        self._collect_requests()
-
-    def _collect(self) -> None:
-        for node in ast.walk(self.tree):
-            if isinstance(node, (ast.Assign, ast.AnnAssign)):
-                target = node.target if isinstance(node, ast.AnnAssign) else (
-                    node.targets[0] if len(node.targets) == 1 else None
-                )
-                if (
-                    isinstance(target, ast.Name)
-                    and target.id == "TIMEOUT_CLASSES"
-                    and isinstance(node.value, ast.Dict)
-                ):
-                    self.defines_timeout_classes = True
-                    for key in node.value.keys:
-                        member = _msgtype_member(key) if key is not None else None
-                        if member is not None:
-                            self.timeout_class_members.add(member)
-            if isinstance(node, ast.ClassDef) and node.name == "MsgType":
-                self.defines_msgtype = True
-                for stmt in node.body:
-                    if isinstance(stmt, ast.Assign):
-                        for target in stmt.targets:
-                            if isinstance(target, ast.Name):
-                                self.msgtype_members[target.id] = stmt.lineno
-            elif isinstance(node, ast.Call):
-                func = node.func
-                if (
-                    isinstance(func, ast.Attribute)
-                    and func.attr in ("register", "make_reply")
-                    and node.args
-                ):
-                    member = _msgtype_member(node.args[0])
-                    if member is not None:
-                        self.handled_members.add(member)
-            elif isinstance(node, ast.Dict):
-                for key in node.keys:
-                    member = _msgtype_member(key) if key is not None else None
-                    if member is not None:
-                        self.dict_key_members.add(member)
-
-    def _collect_requests(self) -> None:
-        for fn in ast.walk(self.tree):
-            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
-            # function-local `msg = Message(MsgType.X, ...)` bindings
-            bindings: Dict[str, str] = {}
-            for node in ast.walk(fn):
-                if isinstance(node, ast.Assign):
-                    member = _message_ctor_member(node.value)
-                    if member is not None:
-                        for target in node.targets:
-                            if isinstance(target, ast.Name):
-                                bindings[target.id] = member
-            for node in ast.walk(fn):
-                if not (
-                    isinstance(node, ast.Call)
-                    and isinstance(node.func, ast.Attribute)
-                    and node.func.attr == "request"
-                    and node.args
-                ):
-                    continue
-                arg = node.args[0]
-                member = _message_ctor_member(arg)
-                if member is None and isinstance(arg, ast.Name):
-                    member = bindings.get(arg.id)
-                if member is not None:
-                    self.requested_members.append((member, node.lineno))
-
-
-def _check_unhandled_message_types(
-    scans: List[_ModuleScan],
+def lint_paths(
+    paths: Sequence[Path], repo_mode: bool = False
 ) -> List[LintViolation]:
-    violations: List[LintViolation] = []
-    handled: Set[str] = set()
-    for scan in scans:
-        handled |= scan.handled_members
-        if not scan.defines_msgtype:
-            # dict keys in the defining module are metadata tables
-            # (CONTROL_SIZES), not dispatch wiring
-            handled |= scan.dict_key_members
-    for scan in scans:
-        for member, line in sorted(scan.msgtype_members.items(),
-                                   key=lambda kv: kv[1]):
-            if member not in handled:
-                violations.append(LintViolation(
-                    rule="unhandled-message-type",
-                    path=str(scan.path),
-                    line=line,
-                    message=(
-                        f"MsgType.{member} has no registered handler, "
-                        f"routes-dict entry, or make_reply producer — "
-                        f"dead protocol surface"
-                    ),
-                ))
-    return violations
-
-
-def _check_directory_encapsulation(scan: _ModuleScan) -> List[LintViolation]:
-    if scan.path.name == _DIRECTORY_MODULE:
-        return []
-    violations = []
-    for node in ast.walk(scan.tree):
-        if isinstance(node, ast.Attribute) and node.attr in _DIRECTORY_INTERNALS:
-            violations.append(LintViolation(
-                rule="directory-encapsulation",
-                path=str(scan.path),
-                line=node.lineno,
-                message=(
-                    f"access to directory internal '.{node.attr}' outside "
-                    f"core/directory.py; go through the CoherenceDirectory "
-                    f"interface"
-                ),
-            ))
-    return violations
-
-
-def _check_sim_nondeterminism(scan: _ModuleScan) -> List[LintViolation]:
-    violations = []
-    for node in ast.walk(scan.tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.name == "random" or alias.name.startswith("random."):
-                    violations.append(LintViolation(
-                        rule="sim-nondeterminism",
-                        path=str(scan.path), line=node.lineno,
-                        message="import of the unseeded 'random' module "
-                                "inside sim code",
-                    ))
-        elif isinstance(node, ast.ImportFrom):
-            if node.module == "random":
-                violations.append(LintViolation(
-                    rule="sim-nondeterminism",
-                    path=str(scan.path), line=node.lineno,
-                    message="import from the unseeded 'random' module "
-                            "inside sim code",
-                ))
-        elif isinstance(node, ast.Call):
-            dotted = _dotted_name(node.func)
-            if len(dotted) < 2:
-                continue
-            suffix = dotted[-2:]
-            if suffix in _WALL_CLOCK_CALLS:
-                violations.append(LintViolation(
-                    rule="sim-nondeterminism",
-                    path=str(scan.path), line=node.lineno,
-                    message=f"wall-clock/entropy call "
-                            f"'{'.'.join(dotted)}()' inside sim code; use "
-                            f"engine time",
-                ))
-            elif "random" in dotted[:-1]:
-                # something.random.<fn>(...): numpy-style RNG access
-                fn = dotted[-1]
-                if fn not in _SEEDED_RNG_CTORS:
-                    violations.append(LintViolation(
-                        rule="sim-nondeterminism",
-                        path=str(scan.path), line=node.lineno,
-                        message=f"'{'.'.join(dotted)}()' draws from global "
-                                f"RNG state; use a seeded default_rng",
-                    ))
-                elif not node.args and not node.keywords:
-                    violations.append(LintViolation(
-                        rule="sim-nondeterminism",
-                        path=str(scan.path), line=node.lineno,
-                        message=f"'{'.'.join(dotted)}()' without a seed is "
-                                f"nondeterministic",
-                    ))
-            elif dotted[0] == "random":
-                violations.append(LintViolation(
-                    rule="sim-nondeterminism",
-                    path=str(scan.path), line=node.lineno,
-                    message=f"'{'.'.join(dotted)}()' uses the unseeded "
-                            f"'random' module inside sim code",
-                ))
-    return violations
-
-
-def _check_yield_discipline(scan: _ModuleScan) -> List[LintViolation]:
-    violations = []
-    for node in ast.walk(scan.tree):
-        if isinstance(node, ast.Yield):
-            value = node.value
-            if value is None or isinstance(value, ast.Constant):
-                shown = "bare yield" if value is None else \
-                    f"yield {value.value!r}"
-                violations.append(LintViolation(
-                    rule="yield-discipline",
-                    path=str(scan.path), line=node.lineno,
-                    message=f"{shown}: generator processes may only yield "
-                            f"waitables (Event/Timeout/Process)",
-                ))
-    return violations
-
-
-def _check_span_discipline(scan: _ModuleScan) -> List[LintViolation]:
-    violations = []
-    # calls that appear as a with-statement item are the sanctioned form
-    with_calls: Set[int] = set()
-    for node in ast.walk(scan.tree):
-        if isinstance(node, (ast.With, ast.AsyncWith)):
-            for item in node.items:
-                if isinstance(item.context_expr, ast.Call):
-                    with_calls.add(id(item.context_expr))
-    for node in ast.walk(scan.tree):
-        if isinstance(node, ast.Call):
-            func = node.func
-            opens_span = (
-                (isinstance(func, ast.Attribute) and func.attr == "span")
-                or (isinstance(func, ast.Name) and func.id == "maybe_span")
-            )
-            if opens_span and id(node) not in with_calls:
-                shown = "maybe_span" if isinstance(func, ast.Name) else \
-                    f"{'.'.join(_dotted_name(func)) or '<expr>.span'}"
-                violations.append(LintViolation(
-                    rule="span-discipline",
-                    path=str(scan.path), line=node.lineno,
-                    message=f"'{shown}(...)' outside a with statement: "
-                            f"spans must be closed by their context "
-                            f"manager or end_us never stamps",
-                ))
-        elif isinstance(node, ast.Dict):
-            for key in node.keys:
-                if (
-                    isinstance(key, ast.Constant)
-                    and key.value in _TRACE_ID_KEYS
-                ):
-                    violations.append(LintViolation(
-                        rule="span-discipline",
-                        path=str(scan.path), line=key.lineno,
-                        message=f"dict key {key.value!r}: trace ids cross "
-                                f"processes only via the Message "
-                                f"trace_id/parent_span fields",
-                    ))
-    return violations
-
-
-def _check_timeout_class_declarations(
-    scans: List[_ModuleScan],
-) -> List[LintViolation]:
-    """Part one of ``retry-discipline``: every request-class MsgType must
-    appear as a key of the ``TIMEOUT_CLASSES`` dict literal.  Skipped
-    entirely when no scanned module defines the dict (partial scans of
-    modules that merely *use* the transport would otherwise all fail)."""
-    if not any(scan.defines_timeout_classes for scan in scans):
-        return []
-    declared: Set[str] = set()
-    for scan in scans:
-        declared |= scan.timeout_class_members
-    violations: List[LintViolation] = []
-    for scan in scans:
-        for member, line in scan.requested_members:
-            if member not in declared:
-                violations.append(LintViolation(
-                    rule="retry-discipline",
-                    path=str(scan.path),
-                    line=line,
-                    message=(
-                        f"MsgType.{member} is awaited via .request() but "
-                        f"declares no entry in TIMEOUT_CLASSES — the "
-                        f"retransmission loop has no reply deadline for it"
-                    ),
-                ))
-    return violations
-
-
-#: base-class names that exempt a class from the slots rule
-_SLOTS_EXEMPT_BASES = frozenset({
-    "Enum", "IntEnum", "StrEnum", "Flag", "IntFlag",
-    "BaseException", "Exception", "Warning",
-})
-
-
-def _slots_scope(path: Path) -> bool:
-    """Is *path* on an engine-core path the slots rule covers?"""
-    parents = path.parts[:-1]
-    if "sim" in parents:
-        return True
-    return path.name == "messages.py" and "net" in parents
-
-
-def _declares_slots(node: ast.ClassDef) -> bool:
-    for stmt in node.body:
-        if isinstance(stmt, ast.Assign):
-            if any(isinstance(t, ast.Name) and t.id == "__slots__"
-                   for t in stmt.targets):
-                return True
-        elif isinstance(stmt, ast.AnnAssign):
-            if isinstance(stmt.target, ast.Name) and \
-                    stmt.target.id == "__slots__":
-                return True
-    for deco in node.decorator_list:
-        if not isinstance(deco, ast.Call):
-            continue
-        name = _dotted_name(deco.func)
-        if name and name[-1] == "dataclass":
-            for kw in deco.keywords:
-                if (
-                    kw.arg == "slots"
-                    and isinstance(kw.value, ast.Constant)
-                    and kw.value.value is True
-                ):
-                    return True
-    return False
-
-
-def _slots_exempt_class(node: ast.ClassDef) -> bool:
-    for base in node.bases:
-        name = _dotted_name(base)
-        last = name[-1] if name else ""
-        if last in _SLOTS_EXEMPT_BASES or last.endswith("Error") or \
-                last.endswith("Exception"):
-            return True
-    return False
-
-
-def _check_slots_discipline(scan: _ModuleScan) -> List[LintViolation]:
-    if not _slots_scope(scan.path):
-        return []
-    violations = []
-    for node in ast.walk(scan.tree):
-        if not isinstance(node, ast.ClassDef):
-            continue
-        if _slots_exempt_class(node):
-            continue
-        if not _declares_slots(node):
-            violations.append(LintViolation(
-                rule="slots-discipline",
-                path=str(scan.path),
-                line=node.lineno,
-                message=(
-                    f"class {node.name} on an engine-core path declares no "
-                    f"__slots__ (use a class-body literal or "
-                    f"@dataclass(slots=True)); hot-loop objects must not "
-                    f"carry an instance __dict__"
-                ),
-            ))
-    return violations
-
-
-#: attribute-call names that put a message on the wire
-_SEND_CALL_ATTRS = frozenset({"send", "post", "request"})
-
-
-def _check_manual_backoff(scan: _ModuleScan) -> List[LintViolation]:
-    """Part two of ``retry-discipline``: a while-loop that sends *and*
-    scales its own delay (``*=`` or ``**``) is a hand-rolled exponential
-    retransmit loop — unless the function delegates the arithmetic to the
-    shared :func:`backoff_delay` helper, which caps the delay and pairs
-    with a bounded attempt budget.  Constant-delay loops are fine."""
-    violations: List[LintViolation] = []
-    for fn in ast.walk(scan.tree):
-        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            continue
-        uses_helper = any(
-            isinstance(node, ast.Call)
-            and (
-                (isinstance(node.func, ast.Name)
-                 and node.func.id == "backoff_delay")
-                or (isinstance(node.func, ast.Attribute)
-                    and node.func.attr == "backoff_delay")
-            )
-            for node in ast.walk(fn)
-        )
-        if uses_helper:
-            continue
-        for loop in ast.walk(fn):
-            if not isinstance(loop, ast.While):
-                continue
-            sends = any(
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr in _SEND_CALL_ATTRS
-                for node in ast.walk(loop)
-            )
-            scales = any(
-                (isinstance(node, ast.AugAssign)
-                 and isinstance(node.op, (ast.Mult, ast.Pow)))
-                or (isinstance(node, ast.BinOp)
-                    and isinstance(node.op, ast.Pow))
-                for node in ast.walk(loop)
-            )
-            if sends and scales:
-                violations.append(LintViolation(
-                    rule="retry-discipline",
-                    path=str(scan.path),
-                    line=loop.lineno,
-                    message=(
-                        "retransmit loop scales its own delay: use "
-                        "net.retry.backoff_delay (capped exponential, "
-                        "bounded attempts) instead of hand-rolled backoff"
-                    ),
-                ))
-    return violations
-
-
-def _nondeterminism_exempt(path: Path) -> bool:
-    return any(part in _NONDETERMINISM_EXEMPT_PARTS for part in path.parts)
-
-
-def _span_exempt(path: Path) -> bool:
-    return any(part in _SPAN_EXEMPT_PARTS for part in path.parts)
-
-
-def lint_paths(paths: Sequence[Path], repo_mode: bool = False) -> List[LintViolation]:
-    """Run every rule over *paths* (files or directories).
+    """Run the seven legacy rules over *paths* (files or directories).
 
     *repo_mode* applies the repo's own exemptions: offline tooling
-    (``bench``, ``tools``, ``check`` packages) is excused from the
-    nondeterminism rule, since it never runs inside a simulation."""
-    scans: List[_ModuleScan] = []
-    violations: List[LintViolation] = []
-    for path in _iter_python_files(paths):
-        try:
-            tree = ast.parse(path.read_text(), filename=str(path))
-        except SyntaxError as err:
-            violations.append(LintViolation(
-                rule="parse-error", path=str(path),
-                line=err.lineno or 0, message=str(err.msg),
-            ))
-            continue
-        scans.append(_ModuleScan(path, tree))
-    violations.extend(_check_unhandled_message_types(scans))
-    violations.extend(_check_timeout_class_declarations(scans))
-    for scan in scans:
-        violations.extend(_check_directory_encapsulation(scan))
-        if not (repo_mode and _nondeterminism_exempt(scan.path)):
-            violations.extend(_check_sim_nondeterminism(scan))
-        violations.extend(_check_yield_discipline(scan))
-        if not (repo_mode and _span_exempt(scan.path)):
-            violations.extend(_check_span_discipline(scan))
-        violations.extend(_check_slots_discipline(scan))
-        violations.extend(_check_manual_backoff(scan))
-    violations.sort(key=lambda v: (v.path, v.line, v.rule))
-    return violations
+    (``bench``, ``tools``, ``check``, ``vet`` packages) is excused from
+    the nondeterminism rule, since it never runs inside a simulation."""
+    ctx = build_context(paths, repo_mode=repo_mode)
+    return run_rules(ctx, RULES)
 
 
 def lint_repo(root: Optional[Path] = None) -> List[LintViolation]:
     """Lint the installed ``repro`` package sources."""
     if root is None:
-        import repro
-
-        root = Path(repro.__file__).parent
+        root = package_root()
     return lint_paths([root], repo_mode=True)

@@ -1,0 +1,79 @@
+"""DexVet: whole-program static analysis for the coherence protocol.
+
+One parse of the package feeds four cooperating passes:
+
+1. **loader** — AST per module, parse failures as violations;
+2. **call graph** — name-based over-approximation of who calls whom;
+3. **effect inference** — blocking (generator) vs pure, propagated to a
+   fixed point through ``return f(...)`` wrappers;
+4. **message graph** — per ``MsgType`` member: send sites, registered
+   handlers, and request↔reply pairing via reachability.
+
+Rules (the seven ported per-file lint rules plus six whole-program
+protocol rules) run off the shared :class:`~repro.vet.rules.VetContext`.
+Entry point: ``python -m repro.vet`` — see :mod:`repro.vet.cli`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.vet.callgraph import CallGraph
+from repro.vet.effects import infer_effects
+from repro.vet.loader import load_paths, package_root, repo_root
+from repro.vet.msggraph import MessageGraph, ModuleScan
+from repro.vet.rules import REGISTRY, VetContext, Violation, run_rules
+from repro.vet import legacy as _legacy  # registers the seven ported rules
+from repro.vet.legacy import LEGACY_RULES
+
+#: the six whole-program rules that need the shared graph/effect passes
+GRAPH_RULES = (
+    "handler-totality",
+    "orphan-message-type",
+    "reply-pairing",
+    "dropped-wait",
+    "inject-coverage",
+    "chaos-reachability",
+)
+
+#: every selectable rule, in report order
+ALL_RULES = tuple(REGISTRY)
+
+
+def build_context(
+    paths: Sequence[Path], repo_mode: bool = False
+) -> VetContext:
+    """Parse *paths* once and run every shared analysis pass."""
+    modules, failures = load_paths(paths)
+    scans = [ModuleScan(m) for m in modules]
+    callgraph = CallGraph(modules)
+    effects = infer_effects(callgraph)
+    graph = MessageGraph(scans, callgraph)
+    return VetContext(
+        modules=modules,
+        failures=failures,
+        scans=scans,
+        callgraph=callgraph,
+        effects=effects,
+        graph=graph,
+        repo_mode=repo_mode,
+    )
+
+
+def vet_paths(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[str]] = None,
+    repo_mode: bool = False,
+) -> List[Violation]:
+    """One-call convenience: build the context and run *rules* over it."""
+    return run_rules(build_context(paths, repo_mode=repo_mode), rules)
+
+
+def vet_repo(
+    root: Optional[Path] = None, rules: Optional[Sequence[str]] = None
+) -> List[Violation]:
+    """Vet the installed ``repro`` package sources with repo exemptions."""
+    if root is None:
+        root = package_root()
+    return vet_paths([root], rules=rules, repo_mode=True)

@@ -1,0 +1,10 @@
+"""``python -m repro.vet`` — see :mod:`repro.vet.cli`."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.vet.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,223 @@
+"""Baseline suppression for DexVet (``vet-baseline.toml``).
+
+Suppressions live in a checked-in TOML file, never inline — a reviewer
+sees every accepted violation in one place, with its reason, in diffs:
+
+.. code-block:: toml
+
+    [[suppress]]
+    rule = "dropped-wait"
+    path = "core/protocol.py"    # suffix match against the violation path
+    line = 123                   # optional: pin to a line
+    match = "acquire"            # optional: message substring
+    reason = "driven manually by the recovery harness"
+    expires = "2026-12-31"       # optional: stops suppressing after this
+
+Semantics under ``--strict`` (the CI mode):
+
+* an entry must carry a non-empty ``reason`` — unexplained suppressions
+  are themselves violations;
+* an **expired** entry no longer suppresses anything and is reported
+  (``baseline-expired``) until it is deleted or re-justified;
+* a **stale** entry (matches nothing in this run) is reported
+  (``baseline-stale``) — baselines may only shrink silently, never rot.
+
+Parsing prefers the stdlib ``tomllib`` (3.11+) and falls back to a
+minimal built-in parser for the subset above, so the CI 3.10 job needs
+no third-party TOML package.
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.vet.rules import Violation
+
+try:  # Python 3.11+
+    import tomllib  # type: ignore[import-not-found]
+except ImportError:  # pragma: no cover - exercised on the 3.10 CI job
+    tomllib = None
+
+DEFAULT_BASELINE_NAME = "vet-baseline.toml"
+
+_KV_RE = re.compile(
+    r"""^(?P<key>[A-Za-z_][A-Za-z0-9_-]*)\s*=\s*
+        (?:"(?P<str>[^"]*)"|(?P<int>-?\d+))\s*(?:\#.*)?$""",
+    re.VERBOSE,
+)
+
+
+def _parse_toml_subset(text: str) -> Dict[str, Any]:
+    """Parse the ``[[suppress]]``/``key = value`` subset used above.
+
+    Good enough for the baseline format; anything else raises."""
+    out: Dict[str, Any] = {}
+    current: Optional[Dict[str, Any]] = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[[") and line.endswith("]]"):
+            name = line[2:-2].strip()
+            current = {}
+            out.setdefault(name, []).append(current)
+            continue
+        match = _KV_RE.match(line)
+        if match is None or current is None:
+            raise ValueError(
+                f"baseline parse error at line {lineno}: {raw.strip()!r}"
+            )
+        value: Any = (
+            match.group("str") if match.group("str") is not None
+            else int(match.group("int"))
+        )
+        current[match.group("key")] = value
+    return out
+
+
+@dataclass
+class Suppression:
+    rule: str
+    path: str
+    reason: str
+    line: Optional[int] = None
+    match: Optional[str] = None
+    expires: Optional[datetime.date] = None
+    #: how many violations this entry absorbed in the current run
+    hits: int = field(default=0, compare=False)
+
+    def matches(self, violation: Violation) -> bool:
+        if violation.rule != self.rule:
+            return False
+        # suffix match lets the baseline stay stable across checkouts
+        vpath = violation.path.replace("\\", "/")
+        if not (vpath == self.path or vpath.endswith("/" + self.path)):
+            return False
+        if self.line is not None and violation.line != self.line:
+            return False
+        if self.match is not None and self.match not in violation.message:
+            return False
+        return True
+
+    def expired(self, today: datetime.date) -> bool:
+        return self.expires is not None and self.expires < today
+
+
+class Baseline:
+    """A loaded suppression file, with apply/audit semantics."""
+
+    def __init__(self, entries: List[Suppression], path: Optional[Path] = None):
+        self.entries = entries
+        self.path = path
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        text = path.read_text()
+        if tomllib is not None:
+            data = tomllib.loads(text)
+        else:
+            data = _parse_toml_subset(text)
+        entries: List[Suppression] = []
+        for raw in data.get("suppress", []):
+            expires: Optional[datetime.date] = None
+            raw_expires = raw.get("expires")
+            if raw_expires is not None:
+                if isinstance(raw_expires, datetime.date):
+                    expires = raw_expires
+                else:
+                    expires = datetime.date.fromisoformat(str(raw_expires))
+            entries.append(Suppression(
+                rule=str(raw.get("rule", "")),
+                path=str(raw.get("path", "")).replace("\\", "/"),
+                reason=str(raw.get("reason", "")),
+                line=int(raw["line"]) if "line" in raw else None,
+                match=str(raw["match"]) if "match" in raw else None,
+                expires=expires,
+            ))
+        return cls(entries, path=path)
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls([])
+
+    def apply(
+        self,
+        violations: List[Violation],
+        strict: bool = False,
+        today: Optional[datetime.date] = None,
+    ) -> Tuple[List[Violation], List[Violation]]:
+        """Split *violations* into ``(reported, suppressed)``.
+
+        Under *strict*, baseline hygiene problems (missing reason,
+        expired entry, stale entry) are appended to the reported list as
+        synthetic ``baseline-*`` violations."""
+        if today is None:
+            today = datetime.date.today()
+        for entry in self.entries:
+            entry.hits = 0
+        reported: List[Violation] = []
+        suppressed: List[Violation] = []
+        live = [e for e in self.entries if not e.expired(today)]
+        for violation in violations:
+            absorbed = None
+            for entry in live:
+                if entry.matches(violation):
+                    absorbed = entry
+                    break
+            if absorbed is not None:
+                absorbed.hits += 1
+                suppressed.append(violation)
+            else:
+                reported.append(violation)
+        if strict:
+            src = str(self.path) if self.path else DEFAULT_BASELINE_NAME
+            for entry in self.entries:
+                where = f"{entry.rule} @ {entry.path}"
+                if not entry.reason.strip():
+                    reported.append(Violation(
+                        rule="baseline-unjustified", path=src, line=0,
+                        message=f"suppression [{where}] has no reason — "
+                                f"every baseline entry must be justified",
+                    ))
+                if entry.expired(today):
+                    reported.append(Violation(
+                        rule="baseline-expired", path=src, line=0,
+                        message=f"suppression [{where}] expired "
+                                f"{entry.expires.isoformat()} — delete it "
+                                f"or re-justify with a new date",
+                    ))
+                elif entry.hits == 0:
+                    reported.append(Violation(
+                        rule="baseline-stale", path=src, line=0,
+                        message=f"suppression [{where}] matches nothing — "
+                                f"the violation is gone, delete the entry",
+                    ))
+        reported.sort(key=lambda v: (v.path, v.line, v.rule))
+        return reported, suppressed
+
+
+def render(violations: List[Violation], reason: str = "TODO: justify") -> str:
+    """Render *violations* as a fresh baseline file (``--update-baseline``)."""
+    lines = [
+        "# DexVet suppression baseline — every entry needs a reason.",
+        "# Entries that stop matching become strict-mode errors; prune them.",
+    ]
+    for v in violations:
+        path = v.path.replace("\\", "/")
+        # keep the path portable: suffix-match from the package dir down
+        marker = "/repro/"
+        if marker in path:
+            path = path.split(marker, 1)[1]
+        lines.extend([
+            "",
+            "[[suppress]]",
+            f'rule = "{v.rule}"',
+            f'path = "{path}"',
+            f"line = {v.line}",
+            f'reason = "{reason}"',
+        ])
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,72 @@
+"""Report rendering for DexVet: text, JSON, and DOT outputs."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.vet.msggraph import MessageGraph
+from repro.vet.rules import Violation
+
+
+def render_text(
+    violations: List[Violation],
+    suppressed: int = 0,
+    checked: Optional[int] = None,
+) -> str:
+    """The CLI check report: one line per violation plus a summary."""
+    lines = [v.format() for v in violations]
+    summary = (
+        f"{len(violations)} violation(s)"
+        if violations else "clean"
+    )
+    if suppressed:
+        summary += f", {suppressed} suppressed by baseline"
+    if checked is not None:
+        summary += f" ({checked} file(s) checked)"
+    lines.append(summary)
+    return "\n".join(lines) + "\n"
+
+
+def render_json(
+    violations: List[Violation], suppressed: List[Violation]
+) -> str:
+    def row(v: Violation) -> Dict[str, object]:
+        return {"rule": v.rule, "path": v.path, "line": v.line,
+                "message": v.message}
+
+    return json.dumps(
+        {
+            "violations": [row(v) for v in violations],
+            "suppressed": [row(v) for v in suppressed],
+        },
+        indent=2,
+    ) + "\n"
+
+
+def render_graph_text(graph: MessageGraph) -> str:
+    """Human-oriented summary of the message graph, one block per type."""
+    lines: List[str] = []
+    for name in sorted(graph.nodes):
+        node = graph.nodes[name]
+        kind = "reply" if node.is_reply_type else (
+            "request" if node.is_requested else "one-way"
+        )
+        lines.append(f"MsgType.{name}  [{kind}]")
+        for site in sorted(node.send_sites,
+                           key=lambda s: (s.module.rel, s.line)):
+            tag = " (reply)" if site.is_reply else ""
+            lines.append(
+                f"  send    {site.via:<8} {site.module.rel}:{site.line}{tag}"
+            )
+        for fn in sorted(node.handler_fns, key=lambda f: f.qualname):
+            lines.append(f"  handle  {fn.qualname}")
+        if node.replies:
+            lines.append(f"  replies {', '.join(sorted(node.replies))}")
+        if not node.send_sites and not node.handler_fns:
+            lines.append("  (unwired)")
+    return "\n".join(lines) + "\n"
+
+
+def render_graph_json(graph: MessageGraph) -> str:
+    return json.dumps(graph.to_dict(), indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,384 @@
+"""DexVet rule framework and the whole-program protocol rules.
+
+A rule is a function from the shared :class:`VetContext` (parsed
+modules, call graph, effect table, message graph) to a list of
+:class:`Violation`.  Rules register themselves by name; the CLI and the
+legacy lint shim both select from the same registry.
+
+The six whole-program rules — none expressible file-at-a-time:
+
+* ``handler-totality`` — every message type that is *sent* somewhere
+  must have a handler *registered* somewhere, or dispatch raises on
+  delivery.
+* ``orphan-message-type`` — a member that is never sent, posted,
+  requested, or produced as a reply is dead protocol surface from the
+  send side.
+* ``reply-pairing`` — a type awaited via ``.request(...)`` must have a
+  reply (``make_reply``) reachable from its handlers, or the requester
+  waits forever.
+* ``dropped-wait`` — effect inference: a call to a blocking (generator)
+  function whose result is discarded builds the generator and never
+  drives it, so the simulated wait silently does not happen.
+* ``inject-coverage`` — cross-node sends must pass through a fabric
+  frontend that stamps trace context (``Tracer.inject``); direct
+  ``.dispatch(...)`` outside the ``net`` layer bypasses it.
+* ``chaos-reachability`` — every message type needs a ``CONTROL_SIZES``
+  entry (or fault injection cannot size/target its frames), and
+  fabric-internal delivery helpers (``_send_impl``/``_wire``) may not be
+  called from outside the fabric, or the chaos hooks are bypassed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.vet.callgraph import CallGraph, FunctionInfo, call_name, iter_own_nodes
+from repro.vet.effects import call_effect, BLOCKING
+from repro.vet.loader import ModuleInfo, ParseFailure
+from repro.vet.msggraph import MessageGraph, ModuleScan
+
+
+@dataclass
+class Violation:
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class VetContext:
+    """Everything the rules share: one parse, one graph, one effect table."""
+
+    __slots__ = (
+        "modules", "failures", "scans", "callgraph", "effects",
+        "graph", "repo_mode",
+    )
+
+    def __init__(
+        self,
+        modules: List[ModuleInfo],
+        failures: List[ParseFailure],
+        scans: List[ModuleScan],
+        callgraph: CallGraph,
+        effects: Dict[FunctionInfo, str],
+        graph: MessageGraph,
+        repo_mode: bool,
+    ):
+        self.modules = modules
+        self.failures = failures
+        self.scans = scans
+        self.callgraph = callgraph
+        self.effects = effects
+        self.graph = graph
+        self.repo_mode = repo_mode
+
+
+RuleFn = Callable[[VetContext], List[Violation]]
+
+#: name -> rule function, in registration order
+REGISTRY: Dict[str, RuleFn] = {}
+
+
+def rule(name: str) -> Callable[[RuleFn], RuleFn]:
+    def register(fn: RuleFn) -> RuleFn:
+        REGISTRY[name] = fn
+        return fn
+    return register
+
+
+def run_rules(
+    ctx: VetContext, names: Optional[Sequence[str]] = None
+) -> List[Violation]:
+    """Run the selected rules (default: all registered) plus parse
+    failures, sorted by ``(path, line, rule)``."""
+    selected = list(REGISTRY) if names is None else list(names)
+    violations: List[Violation] = [
+        Violation("parse-error", f.path, f.line, f.message)
+        for f in ctx.failures
+    ]
+    for name in selected:
+        try:
+            fn = REGISTRY[name]
+        except KeyError:
+            raise ValueError(f"unknown rule: {name!r}") from None
+        violations.extend(fn(ctx))
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# whole-program rules
+
+
+@rule("handler-totality")
+def _check_handler_totality(ctx: VetContext) -> List[Violation]:
+    violations: List[Violation] = []
+    for name in sorted(ctx.graph.nodes):
+        node = ctx.graph.nodes[name]
+        sends = node.one_way_sends
+        if sends and not node.handler_regs:
+            site = min(sends, key=lambda s: (s.module.rel, s.line))
+            violations.append(Violation(
+                rule="handler-totality",
+                path=str(site.module.path),
+                line=site.line,
+                message=(
+                    f"MsgType.{name} is sent via .{site.via}() but no "
+                    f"handler is registered on any Router — delivery "
+                    f"raises at dispatch"
+                ),
+            ))
+    return violations
+
+
+@rule("orphan-message-type")
+def _check_orphan_message_types(ctx: VetContext) -> List[Violation]:
+    violations: List[Violation] = []
+    for name in sorted(ctx.graph.nodes):
+        node = ctx.graph.nodes[name]
+        if not node.send_sites and not node.is_reply_type:
+            violations.append(Violation(
+                rule="orphan-message-type",
+                path=_defining_path(ctx, node.defined_in),
+                line=node.defined_line,
+                message=(
+                    f"MsgType.{name} is never sent, posted, requested, or "
+                    f"produced as a reply — dead protocol surface on the "
+                    f"send side (wire it or delete it)"
+                ),
+            ))
+    return violations
+
+
+def _defining_path(ctx: VetContext, rel: str) -> str:
+    for module in ctx.modules:
+        if module.rel == rel:
+            return str(module.path)
+    return rel
+
+
+@rule("reply-pairing")
+def _check_reply_pairing(ctx: VetContext) -> List[Violation]:
+    violations: List[Violation] = []
+    for name in sorted(ctx.graph.nodes):
+        node = ctx.graph.nodes[name]
+        if not node.is_requested:
+            continue
+        if node.replies:
+            continue
+        site = min(
+            (s for s in node.send_sites if s.via == "request"),
+            key=lambda s: (s.module.rel, s.line),
+        )
+        if not node.handler_fns:
+            detail = "its registered handler resolves to no known function"
+            if not node.handler_regs:
+                detail = "it has no registered handler at all"
+            message = (
+                f"MsgType.{name} is awaited via .request() but {detail} — "
+                f"the requester would wait forever"
+            )
+        else:
+            message = (
+                f"MsgType.{name} is awaited via .request() but no "
+                f"make_reply is reachable from its handlers — the "
+                f"requester would wait forever"
+            )
+        violations.append(Violation(
+            rule="reply-pairing",
+            path=str(site.module.path),
+            line=site.line,
+            message=message,
+        ))
+    return violations
+
+
+#: call names sanctioned to *consume* a generator: the engine spawners
+#: drive it as a process, carry() adopts it for tracing
+SPAWNER_NAMES = frozenset({"process", "run_process", "all_of", "any_of", "carry"})
+
+
+@rule("dropped-wait")
+def _check_dropped_wait(ctx: VetContext) -> List[Violation]:
+    violations: List[Violation] = []
+    for fn in ctx.callgraph.functions:
+        own = list(iter_own_nodes(fn.node))
+        loads: Set[str] = {
+            n.id for n in own
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+        }
+        for node in own:
+            if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                call = node.value
+                if call_effect(ctx.callgraph, ctx.effects, call) is BLOCKING:
+                    name = call_name(call)
+                    violations.append(Violation(
+                        rule="dropped-wait",
+                        path=str(fn.module.path),
+                        line=call.lineno,
+                        message=(
+                            f"call to blocking '{name}(...)' as a bare "
+                            f"statement: the generator is built and "
+                            f"dropped, the simulated wait never happens — "
+                            f"drive it with 'yield from' or spawn it via "
+                            f"engine.process(...)"
+                        ),
+                    ))
+            elif isinstance(node, ast.Yield) and isinstance(node.value, ast.Call):
+                call = node.value
+                if call_effect(ctx.callgraph, ctx.effects, call) is BLOCKING:
+                    name = call_name(call)
+                    violations.append(Violation(
+                        rule="dropped-wait",
+                        path=str(fn.module.path),
+                        line=call.lineno,
+                        message=(
+                            f"'yield {name}(...)' hands the engine a "
+                            f"generator, not a waitable — use "
+                            f"'yield from {name}(...)'"
+                        ),
+                    ))
+            elif (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+            ):
+                call = node.value
+                target = node.targets[0].id
+                if (
+                    target not in loads
+                    and call_effect(ctx.callgraph, ctx.effects, call)
+                    is BLOCKING
+                ):
+                    name = call_name(call)
+                    violations.append(Violation(
+                        rule="dropped-wait",
+                        path=str(fn.module.path),
+                        line=call.lineno,
+                        message=(
+                            f"result of blocking '{name}(...)' bound to "
+                            f"'{target}' but never driven — the simulated "
+                            f"wait never happens"
+                        ),
+                    ))
+    return violations
+
+
+@rule("inject-coverage")
+def _check_inject_coverage(ctx: VetContext) -> List[Violation]:
+    violations: List[Violation] = []
+    # (a) direct dispatch outside the net layer bypasses trace stamping
+    #     and the chaos delivery hooks
+    for scan in ctx.scans:
+        if "net" in scan.module.parts:
+            continue
+        for node in ast.walk(scan.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "dispatch"
+            ):
+                violations.append(Violation(
+                    rule="inject-coverage",
+                    path=str(scan.path),
+                    line=node.lineno,
+                    message=(
+                        "direct '.dispatch(...)' outside the net layer "
+                        "bypasses Tracer.inject and the chaos delivery "
+                        "hooks — go through send/post/request"
+                    ),
+                ))
+    # (b) a fabric frontend (class with both send and _send_impl) must
+    #     stamp trace context before handing off
+    for scan in ctx.scans:
+        for cls in ast.walk(scan.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            defs = {
+                stmt.name: stmt for stmt in cls.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if "send" not in defs or "_send_impl" not in defs:
+                continue
+            send_def = defs["send"]
+            injects = any(
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "inject"
+                for node in ast.walk(send_def)
+            )
+            if not injects:
+                violations.append(Violation(
+                    rule="inject-coverage",
+                    path=str(scan.path),
+                    line=send_def.lineno,
+                    message=(
+                        f"{cls.name}.send has no Tracer.inject call — "
+                        f"cross-node messages leave without trace context "
+                        f"and spans cannot be stitched across nodes"
+                    ),
+                ))
+    return violations
+
+
+#: fabric-internal delivery helpers: calling these directly skips the
+#: chaos on_send/on_deliver interposition points
+_FABRIC_INTERNALS = frozenset({"_send_impl", "_wire", "_wire_impl"})
+
+
+@rule("chaos-reachability")
+def _check_chaos_reachability(ctx: VetContext) -> List[Violation]:
+    violations: List[Violation] = []
+    # (a) CONTROL_SIZES totality, when the table is in scope
+    if any(scan.defines_control_sizes for scan in ctx.scans):
+        sized: Set[str] = set()
+        for scan in ctx.scans:
+            sized |= scan.control_size_members
+        for scan in ctx.scans:
+            for member, line in sorted(scan.msgtype_members.items(),
+                                       key=lambda kv: kv[1]):
+                if member not in sized:
+                    violations.append(Violation(
+                        rule="chaos-reachability",
+                        path=str(scan.path),
+                        line=line,
+                        message=(
+                            f"MsgType.{member} has no CONTROL_SIZES entry "
+                            f"— the fabric cannot size its frames and "
+                            f"fault injection cannot target it"
+                        ),
+                    ))
+    # (b) fabric internals called from outside their defining module
+    defining: Dict[str, Set[str]] = {}
+    for fn in ctx.callgraph.functions:
+        if fn.name in _FABRIC_INTERNALS:
+            defining.setdefault(fn.name, set()).add(fn.module.rel)
+    if defining:
+        for scan in ctx.scans:
+            for node in ast.walk(scan.tree):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in defining
+                ):
+                    continue
+                if scan.module.rel in defining[node.func.attr]:
+                    continue
+                violations.append(Violation(
+                    rule="chaos-reachability",
+                    path=str(scan.path),
+                    line=node.lineno,
+                    message=(
+                        f"call to fabric-internal "
+                        f"'{node.func.attr}(...)' from outside the fabric "
+                        f"bypasses the chaos on_send/on_deliver hooks — "
+                        f"go through send/post/request"
+                    ),
+                ))
+    return violations

@@ -1,0 +1,9 @@
+"""Seeded bug: calling a fabric-internal delivery helper from outside
+the fabric module — the chaos on_send/on_deliver hooks never see the
+message.  Only fires when scanned together with ``fixture_fabric.py``
+(which defines ``_send_impl``).
+"""
+
+
+def fast_path_deliver(fabric, msg):
+    fabric._send_impl(msg)  # BUG: skips the chaos on_send hook

@@ -1,0 +1,39 @@
+"""Clean mini-protocol: every DexVet rule must stay quiet here.
+
+Exercises the *negative* path of each whole-program rule: a requested
+type with a replying handler, a complete CONTROL_SIZES table, a declared
+timeout class, and blocking calls consumed through the sanctioned forms.
+"""
+
+
+class MsgType:
+    ECHO_REQUEST = 1
+    ECHO_REPLY = 2
+
+
+CONTROL_SIZES = {
+    MsgType.ECHO_REQUEST: 64,
+    MsgType.ECHO_REPLY: 64,
+}
+
+TIMEOUT_CLASSES = {
+    MsgType.ECHO_REQUEST: "ctl",
+}
+
+
+class EchoService:
+    def handle_echo(self, msg):
+        return msg.make_reply(MsgType.ECHO_REPLY, payload={"ok": True})
+
+
+def wire(router, svc):
+    router.register(MsgType.ECHO_REQUEST, svc.handle_echo)
+
+
+def echo(net, src, dst):
+    reply = yield from net.request(Message(MsgType.ECHO_REQUEST, src=src, dst=dst))
+    return reply
+
+
+def echo_in_background(engine, net, src, dst):
+    return engine.process(echo(net, src, dst))

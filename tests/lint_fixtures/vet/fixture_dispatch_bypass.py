@@ -1,0 +1,26 @@
+"""Seeded bug: trace-injection coverage holes.
+
+Two distinct holes: a helper that delivers by poking the router's
+``dispatch`` directly (skipping the fabric entirely), and a fabric-
+shaped class whose ``send`` frontend forgets to stamp trace context
+before handing off to its ``_send_impl``.
+"""
+
+
+class ShortcutMailbox:
+    """Delivers locally by calling the router directly — bypassing the
+    fabric's trace stamping and chaos interposition."""
+
+    def __init__(self, router):
+        self.router = router
+
+    def deliver(self, msg):
+        self.router.dispatch(msg)  # BUG: bypasses Tracer.inject
+
+
+class BareFabric:
+    def send(self, msg):  # BUG: no Tracer.inject before handoff
+        self._send_impl(msg)
+
+    def _send_impl(self, msg):
+        self.outbox = msg

@@ -1,0 +1,55 @@
+"""Seeded bug: blocking (generator) calls whose result is never driven.
+
+Three variants of the silently-dropped-wait bug DexVet's effect
+inference must catch — plus the sanctioned forms, which must not fire.
+"""
+
+
+def transfer_page(engine, latency):
+    """A blocking sim operation: models the wire delay of a page move."""
+    yield engine.timeout(latency)
+    return latency
+
+
+def drain_queue(engine, queue):
+    while queue:
+        yield engine.timeout(queue.pop())
+
+
+def forward_transfer(engine, latency):
+    # non-generator wrapper: hands back the generator, so callers must
+    # drive its result exactly like transfer_page itself
+    return transfer_page(engine, latency)
+
+
+def migrate(engine, pages):
+    total = 0
+    for latency in pages:
+        transfer_page(engine, latency)  # BUG: generator built and dropped
+        total += latency
+    return total
+
+
+def warmup(engine):
+    yield transfer_page(engine, 5)  # BUG: yields a generator, not a waitable
+
+
+def finish(engine, queue):
+    pending = drain_queue(engine, queue)  # BUG: bound but never driven
+    return True
+
+
+def relocate(engine, latency):
+    forward_transfer(engine, latency)  # BUG: wrapper is just as blocking
+
+
+def migrate_correctly(engine, pages):
+    total = 0
+    for latency in pages:
+        total += yield from transfer_page(engine, latency)  # OK: driven
+    return total
+
+
+def finish_correctly(engine, queue):
+    handle = engine.process(drain_queue(engine, queue))  # OK: spawned
+    yield handle

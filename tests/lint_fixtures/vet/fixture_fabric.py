@@ -1,0 +1,14 @@
+"""Clean fabric-shaped module: frontends stamp trace context, internals
+stay inside the module.  Scanned alone it must produce zero violations;
+paired with ``fixture_chaos_bypass.py`` it provides the ``_send_impl``
+definition that makes the cross-module bypass visible.
+"""
+
+
+class MiniFabric:
+    def send(self, msg):
+        self.tracer.inject(msg)
+        self._send_impl(msg)
+
+    def _send_impl(self, msg):
+        self.outbox.append(msg)

@@ -1,0 +1,31 @@
+"""Seeded bug: a message type without a ``CONTROL_SIZES`` entry.
+
+The fabric cannot size ``DATA_ACK`` frames and chaos byte-loss cannot
+target them; chaos-reachability pins the member definition.
+"""
+
+
+class MsgType:
+    DATA_PUSH = 1
+    DATA_ACK = 2
+
+
+CONTROL_SIZES = {
+    MsgType.DATA_PUSH: 4096,
+}
+
+
+class PushService:
+    def handle_push(self, msg):
+        return msg.make_reply(MsgType.DATA_ACK, payload={"ok": True})
+
+
+def wire(router, svc):
+    router.register(MsgType.DATA_PUSH, svc.handle_push)
+
+
+def push(net, src, dst, payload):
+    reply = yield from net.request(
+        Message(MsgType.DATA_PUSH, src=src, dst=dst, payload=payload)
+    )
+    return reply

@@ -1,0 +1,13 @@
+"""Seeded bug: a message type that is sent but never handled anywhere.
+
+Dispatch would raise on delivery; handler-totality pins the send site
+and the legacy unhandled-message-type rule pins the definition.
+"""
+
+
+class MsgType:
+    EVICT_NOTICE = 1
+
+
+def notify(net, src, dst):
+    net.send(Message(MsgType.EVICT_NOTICE, src=src, dst=dst))

@@ -1,0 +1,28 @@
+"""Seeded bug: a request whose handler never replies.
+
+``FETCH_HINT`` is awaited via ``.request(...)`` and its handler is
+registered and resolvable — but no ``make_reply`` is reachable from it,
+so the requester would wait forever.  Only the call-graph reply closure
+can see this.
+"""
+
+
+class MsgType:
+    FETCH_HINT = 1
+
+
+class HintService:
+    def handle_fetch_hint(self, msg):
+        # handles the message... and forgets to reply
+        self.hints[msg.payload["vpn"]] = msg.src
+
+
+def wire(router, svc):
+    router.register(MsgType.FETCH_HINT, svc.handle_fetch_hint)
+
+
+def lookup(net, src, dst, vpn):
+    reply = yield from net.request(
+        Message(MsgType.FETCH_HINT, src=src, dst=dst, payload={"vpn": vpn})
+    )
+    return reply

@@ -1,0 +1,168 @@
+"""Baseline suppression semantics: matching, expiry, staleness, and the
+3.10-compatible TOML-subset parser."""
+
+import datetime
+
+import pytest
+
+from repro.vet.baseline import (
+    Baseline, Suppression, _parse_toml_subset, render,
+)
+from repro.vet.rules import Violation
+
+TODAY = datetime.date(2026, 8, 8)
+
+
+def v(rule="dropped-wait", path="/repo/src/repro/core/protocol.py",
+      line=10, message="call to blocking 'transfer(...)'"):
+    return Violation(rule=rule, path=path, line=line, message=message)
+
+
+def entry(**kw):
+    defaults = dict(rule="dropped-wait", path="core/protocol.py",
+                    reason="known-manual-drive")
+    defaults.update(kw)
+    return Suppression(**defaults)
+
+
+# -- matching ---------------------------------------------------------------
+
+def test_suffix_path_match_suppresses():
+    reported, suppressed = Baseline([entry()]).apply([v()], today=TODAY)
+    assert reported == [] and len(suppressed) == 1
+
+
+def test_rule_mismatch_does_not_suppress():
+    baseline = Baseline([entry(rule="reply-pairing")])
+    reported, suppressed = baseline.apply([v()], today=TODAY)
+    assert len(reported) == 1 and suppressed == []
+
+
+def test_line_pin_must_match():
+    baseline = Baseline([entry(line=10)])
+    assert baseline.apply([v(line=10)], today=TODAY)[0] == []
+    assert len(baseline.apply([v(line=11)], today=TODAY)[0]) == 1
+
+
+def test_message_substring_must_match():
+    baseline = Baseline([entry(match="transfer")])
+    assert baseline.apply([v()], today=TODAY)[0] == []
+    baseline = Baseline([entry(match="acquire")])
+    assert len(baseline.apply([v()], today=TODAY)[0]) == 1
+
+
+def test_unrelated_path_does_not_suppress():
+    baseline = Baseline([entry(path="core/migration.py")])
+    assert len(baseline.apply([v()], today=TODAY)[0]) == 1
+
+
+# -- expiry and hygiene -----------------------------------------------------
+
+def test_expired_entry_stops_suppressing():
+    baseline = Baseline([entry(expires=datetime.date(2026, 1, 1))])
+    reported, suppressed = baseline.apply([v()], today=TODAY)
+    assert len(reported) == 1 and suppressed == []
+
+
+def test_unexpired_entry_still_suppresses():
+    baseline = Baseline([entry(expires=datetime.date(2027, 1, 1))])
+    reported, suppressed = baseline.apply([v()], today=TODAY)
+    assert reported == [] and len(suppressed) == 1
+
+
+def test_strict_reports_expired_entry():
+    baseline = Baseline([entry(expires=datetime.date(2026, 1, 1))])
+    reported, _ = baseline.apply([v()], strict=True, today=TODAY)
+    rules = {r.rule for r in reported}
+    assert "baseline-expired" in rules
+    assert "dropped-wait" in rules  # the violation itself resurfaces
+
+
+def test_strict_reports_stale_entry():
+    baseline = Baseline([entry(path="gone/module.py")])
+    reported, _ = baseline.apply([], strict=True, today=TODAY)
+    assert [r.rule for r in reported] == ["baseline-stale"]
+
+
+def test_strict_reports_unjustified_entry():
+    baseline = Baseline([entry(reason="  ")])
+    reported, _ = baseline.apply([v()], strict=True, today=TODAY)
+    assert "baseline-unjustified" in {r.rule for r in reported}
+
+
+def test_non_strict_ignores_hygiene():
+    baseline = Baseline([entry(path="gone/module.py")])
+    reported, _ = baseline.apply([], strict=False, today=TODAY)
+    assert reported == []
+
+
+def test_used_entry_not_stale_under_strict():
+    baseline = Baseline([entry()])
+    reported, suppressed = baseline.apply([v()], strict=True, today=TODAY)
+    assert reported == [] and len(suppressed) == 1
+
+
+# -- file round-trip --------------------------------------------------------
+
+SAMPLE = '''\
+# comment
+[[suppress]]
+rule = "dropped-wait"
+path = "core/protocol.py"
+line = 10
+match = "transfer"          # trailing comment
+reason = "driven by the recovery harness"
+expires = "2027-01-01"
+
+[[suppress]]
+rule = "reply-pairing"
+path = "core/vma_sync.py"
+reason = "one-way by design"
+'''
+
+
+def test_subset_parser_parses_sample():
+    data = _parse_toml_subset(SAMPLE)
+    assert len(data["suppress"]) == 2
+    first = data["suppress"][0]
+    assert first["rule"] == "dropped-wait"
+    assert first["line"] == 10
+    assert first["expires"] == "2027-01-01"
+
+
+def test_subset_parser_matches_tomllib():
+    tomllib = pytest.importorskip("tomllib")
+    # tomllib parses dates natively; normalise for comparison
+    official = tomllib.loads(SAMPLE)
+    ours = _parse_toml_subset(SAMPLE)
+    for a, b in zip(official["suppress"], ours["suppress"]):
+        for key in set(a) | set(b):
+            assert str(a[key]) == str(b[key]), key
+
+
+def test_subset_parser_rejects_garbage():
+    with pytest.raises(ValueError, match="parse error"):
+        _parse_toml_subset("rule = \n")
+
+
+def test_load_and_apply_from_file(tmp_path):
+    path = tmp_path / "vet-baseline.toml"
+    path.write_text(SAMPLE)
+    baseline = Baseline.load(path)
+    assert len(baseline.entries) == 2
+    reported, suppressed = baseline.apply(
+        [v(message="call to blocking 'transfer(...)'")], today=TODAY
+    )
+    assert reported == [] and len(suppressed) == 1
+
+
+def test_render_roundtrip(tmp_path):
+    text = render([v()], reason="seeded")
+    path = tmp_path / "vet-baseline.toml"
+    path.write_text(text)
+    baseline = Baseline.load(path)
+    (e,) = baseline.entries
+    assert e.rule == "dropped-wait"
+    assert e.path == "core/protocol.py"  # portable suffix, not absolute
+    assert e.reason == "seeded"
+    assert baseline.apply([v()], today=TODAY)[0] == []
