@@ -31,7 +31,8 @@ from repro.core.errors import DexError
 from repro.core.process import DexProcess
 from repro.net.fabric import Network
 from repro.net.messages import Message, MsgType
-from repro.obs import resolve_trace_mode
+from repro.obs import resolve_lens_mode, resolve_trace_mode
+from repro.obs.lens import DexLens
 from repro.obs.tracing import Tracer
 from repro.params import SimParams
 from repro.sim import Engine, FairShareResource, Resource
@@ -88,10 +89,12 @@ class DexCluster:
             seed = scenario.seed
         self.engine = Engine(seed=0 if seed is None else seed)
         #: the repro.obs span tracer, or None when tracing is off (the
-        #: common case — instrumented code then costs one None check)
+        #: common case — instrumented code then costs one None check).
+        #: DexLens rides on span closes, so turning it on implies a tracer
+        lens_on = resolve_lens_mode(self.params.lens)
         self.tracer: Optional[Tracer] = (
             Tracer(self.engine, max_spans=self.params.trace_max_spans)
-            if resolve_trace_mode(self.params.trace)
+            if resolve_trace_mode(self.params.trace) or lens_on
             else None
         )
         #: the fault-injection controller, or None when chaos is off (the
@@ -106,6 +109,12 @@ class DexCluster:
             DexNode(self.engine, n, self.params) for n in range(num_nodes)
         ]
         self.processes: Dict[int, DexProcess] = {}
+        #: the online analytics bundle (repro.obs.lens), or None when the
+        #: lens is off — with it off nothing subscribes to the tracer and
+        #: the sink lists stay empty
+        self.lens: Optional[DexLens] = (
+            DexLens(self, self.tracer) if lens_on else None
+        )
         self._register_handlers()
         if self.chaos is not None:
             self.chaos.attach(self)
@@ -139,26 +148,34 @@ class DexCluster:
         Returns the main thread's result."""
         if proc is None:
             proc = self.create_process()
-        thread = proc.spawn_thread(main, *args, name="main")
-        if self.chaos is not None:
-            # re-arm the keepalive/monitor ticks for this run; stop
-            # re-arming once the main thread completes so engine.run()
-            # can drain and terminate
-            self.chaos.resume_services()
-            thread.sim_process.add_callback(
-                lambda _evt: self.chaos.suspend_services()
-            )
-        self.engine.run(until=until)
-        if not thread.sim_process.triggered:
-            detail = ""
-            if proc.deadlocks is not None:
-                # the wait-for detector knows who is stuck on what
-                detail = "\n" + proc.deadlocks.report()
-            raise DexError(
-                "simulation ended before the main thread finished "
-                "(deadlock or `until` too small)" + detail
-            )
-        return thread.result
+        try:
+            thread = proc.spawn_thread(main, *args, name="main")
+            if self.chaos is not None:
+                # re-arm the keepalive/monitor ticks for this run; stop
+                # re-arming once the main thread completes so engine.run()
+                # can drain and terminate
+                self.chaos.resume_services()
+                thread.sim_process.add_callback(
+                    lambda _evt: self.chaos.suspend_services()
+                )
+            self.engine.run(until=until)
+            if not thread.sim_process.triggered:
+                detail = ""
+                if proc.deadlocks is not None:
+                    # the wait-for detector knows who is stuck on what
+                    detail = "\n" + proc.deadlocks.report()
+                raise DexError(
+                    "simulation ended before the main thread finished "
+                    "(deadlock or `until` too small)" + detail
+                )
+            return thread.result
+        except DexError as err:
+            # deadlock, sanitizer violation, or unrecovered chaos crash:
+            # the flight recorder dumps its evidence before the error
+            # propagates (lens on only; "" dump path disables)
+            if self.lens is not None:
+                self.lens.dump_on_crash(err)
+            raise
 
     def run(self, until: Optional[float] = None) -> float:
         """Drive the simulation; returns the final time (microseconds)."""

@@ -607,27 +607,35 @@ class ConsistencyProtocol:
         vpn = msg.payload["vpn"]
         downgrade = msg.payload["downgrade"]
         state = proc.node_state(node)
-        yield engine.timeout(params.invalidation_handler_cost)
-        # wait out any in-flight fault that is mid-install for this page
-        # (its grant was FIFO-ordered ahead of this invalidation)
-        while True:
-            installing = [
-                f
-                for f in state.inflight.get(vpn, ())
-                if f.installing and not f.done.triggered
-            ]
-            if not installing:
-                break
-            yield installing[0].done
-        # apply synchronously: flush-decision, data grab and PTE change
-        # happen with no intervening yield
-        pte = state.page_table.lookup(vpn)
-        dirty: Optional[bytes] = None
-        if pte is not None and pte.state is PageState.EXCLUSIVE:
-            frame = state.frames.peek(vpn)
-            dirty = bytes(frame) if frame is not None else bytes(params.page_size)
-        if pte is not None:
-            pte.state = PageState.SHARED if downgrade else PageState.INVALID
+        with maybe_span(
+            proc.obs, "protocol.invalidate",
+            node=node, vpn=vpn, downgrade=downgrade,
+            # the node whose access triggered this revocation — with the
+            # victim (node), the (requester -> victim) ping-pong pair the
+            # lens aggregates
+            requester=msg.payload.get("requester", msg.src),
+        ):
+            yield engine.timeout(params.invalidation_handler_cost)
+            # wait out any in-flight fault that is mid-install for this page
+            # (its grant was FIFO-ordered ahead of this invalidation)
+            while True:
+                installing = [
+                    f
+                    for f in state.inflight.get(vpn, ())
+                    if f.installing and not f.done.triggered
+                ]
+                if not installing:
+                    break
+                yield installing[0].done
+            # apply synchronously: flush-decision, data grab and PTE change
+            # happen with no intervening yield
+            pte = state.page_table.lookup(vpn)
+            dirty: Optional[bytes] = None
+            if pte is not None and pte.state is PageState.EXCLUSIVE:
+                frame = state.frames.peek(vpn)
+                dirty = bytes(frame) if frame is not None else bytes(params.page_size)
+            if pte is not None:
+                pte.state = PageState.SHARED if downgrade else PageState.INVALID
         if proc.tracer is not None:
             proc.tracer.record(
                 time_us=engine.now,

@@ -130,6 +130,9 @@ class Network:
                 # caller already did); the receiver's router parents its
                 # handler span on it
                 tracer.inject(msg)
+                # offer the stamped message to any online sinks (DexLens
+                # flight recorder); free when no sink is registered
+                tracer.note_message(msg)
                 yield from self._send_impl(msg)
 
     def _send_impl(self, msg: Message) -> Generator:

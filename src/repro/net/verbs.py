@@ -135,22 +135,48 @@ class Router:
             # same reply_to so it correlates at the requester; requester-
             # side suppression drops it if the original also arrived)
             self.chaos.replies_resent.inc()
-            self.net.post(Message(
+            clone = Message(
                 msg_type=cached.msg_type,
                 src=cached.src,
                 dst=cached.dst,
                 payload=cached.payload,
                 page_data=cached.page_data,
                 reply_to=cached.reply_to,
-            ))
+                # keep the original reply's trace context: the resend must
+                # stay inside the tree the request started, or the Perfetto
+                # flow arrows break mid-trace under chaos
+                trace_id=cached.trace_id,
+                parent_span=cached.parent_span,
+            )
+            proc = self.net.post(clone)
+            tracer = self.engine.tracer
+            if tracer is not None and clone.trace_id is not None:
+                # the posted send process starts with an empty span stack;
+                # without adoption its net.send/net.wire spans would root a
+                # fresh, disconnected trace
+                tracer.adopt(
+                    proc, "net.resend",
+                    trace_id=clone.trace_id, parent_id=clone.parent_span,
+                    node=self.node_id, msg_type=clone.msg_type.value,
+                )
         elif msg.msg_type in TIMEOUT_CLASSES:
             # request-class message whose handler is still running (it may
             # legitimately block, e.g. a delegated futex wait): tell the
             # requester to keep waiting instead of declaring us dead
             self.chaos.request_acks.inc()
-            self.net.post(msg.make_reply(
-                MsgType.REQUEST_ACK, {"ack_for": msg.msg_id}
-            ))
+            ack = msg.make_reply(MsgType.REQUEST_ACK, {"ack_for": msg.msg_id})
+            # same trace-continuity rule as resent replies: the ack answers
+            # a request that already carries a trace context
+            ack.trace_id = msg.trace_id
+            ack.parent_span = msg.parent_span
+            proc = self.net.post(ack)
+            tracer = self.engine.tracer
+            if tracer is not None and ack.trace_id is not None:
+                tracer.adopt(
+                    proc, "net.resend",
+                    trace_id=ack.trace_id, parent_id=ack.parent_span,
+                    node=self.node_id, msg_type=ack.msg_type.value,
+                )
         # duplicates of one-way messages vanish silently
 
     def note_reply_sent(self, reply: Message) -> None:

@@ -10,12 +10,17 @@ Three parts:
   and :class:`MetricsRegistry`; ``DexStats`` is a typed facade over one.
 * :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto), terminal
   reports, per-phase attribution.
+* :mod:`repro.obs.lens` — DexLens: online, bounded-memory trace analytics
+  (windowed heat stats, critical-path histograms, live top view) fed by
+  span-close sinks; :mod:`repro.obs.ring` is its crash flight recorder.
 
 Enable tracing with ``DexCluster(trace=True)`` / ``SimParams(trace="1")`` or
 the ``DEX_TRACE`` environment variable; when off, no tracer object exists
-and the instrumented hot paths reduce to a ``None`` check.
+and the instrumented hot paths reduce to a ``None`` check.  The lens has
+the same shape behind ``SimParams(lens="1")`` / ``DEX_LENS`` (lens on
+implies a tracer).
 
-CLI: ``python -m repro.obs run|report|export`` (see ``--help``).
+CLI: ``python -m repro.obs run|report|export|top`` (see ``--help``).
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ __all__ = [
     "Tracer",
     "load_spans",
     "maybe_span",
+    "resolve_lens_mode",
     "resolve_trace_mode",
 ]
 
@@ -56,4 +62,20 @@ def resolve_trace_mode(setting: Optional[str]) -> str:
         return "spans"
     raise ValueError(
         f"unknown trace mode {setting!r}; expected one of '', '1'/'on'/'spans'"
+    )
+
+
+def resolve_lens_mode(setting: Optional[str]) -> str:
+    """Normalize a ``SimParams.lens`` setting to ``""`` (off) or ``"on"``.
+    ``None`` defers to the ``DEX_LENS`` environment variable — the same
+    deferral scheme as ``trace``/``DEX_TRACE``."""
+    if setting is None:
+        setting = os.environ.get("DEX_LENS", "")
+    mode = str(setting).strip().lower()
+    if mode in _OFF:
+        return ""
+    if mode in _ON - {"spans"}:
+        return "on"
+    raise ValueError(
+        f"unknown lens mode {setting!r}; expected one of '', '1'/'on'"
     )

@@ -6,10 +6,14 @@ Subcommands::
     python -m repro.obs report --input spans.json
     python -m repro.obs report --app BFS --nodes 8
     python -m repro.obs export --app kmeans --nodes 4 --out trace.json
+    python -m repro.obs top    --app kmeans --nodes 4 --interval-us 10000
 
 ``run`` saves the raw span log (``dextrace-spans-v1`` JSON), ``report``
 prints the terminal timeline / top-spans / per-phase attribution views,
-and ``export`` writes Chrome trace-event JSON for ui.perfetto.dev.
+``export`` writes Chrome trace-event JSON for ui.perfetto.dev, and
+``top`` runs with the DexLens analytics on, rendering live frames
+(hottest pages, worst ping-pong pairs, p50/p99 critical-path breakdown)
+every ``--interval-us`` of *simulated* time plus a final summary frame.
 
 ``--app`` takes a Figure 2 short name (KMN, GRP, BT, EP, FT, BLK, BFS,
 BP), a long alias (``kmeans``, ``blackscholes``, ...), or ``pagefault`` —
@@ -69,15 +73,26 @@ def _overrides(pairs: Sequence[str]) -> Dict[str, Any]:
     return out
 
 
+def _sim_params(ns: argparse.Namespace):
+    """Traced SimParams for a CLI run; the ``top`` subcommand adds the
+    lens knobs on top."""
+    from repro.params import SimParams
+
+    kwargs: Dict[str, Any] = {"trace": "1", "directory": ns.directory}
+    if getattr(ns, "lens", False):
+        kwargs["lens"] = "1"
+        kwargs["lens_window_us"] = ns.window_us
+    return SimParams(**kwargs)
+
+
 def _run_pagefault(ns: argparse.Namespace):
     """The §V-D microbenchmark: two threads on two nodes ping-ponging one
     atomic counter.  Built here (not via repro.bench.experiments) so the
     CLI holds the cluster and can read its tracer directly."""
     from repro.core import DexCluster
-    from repro.params import SimParams
     from repro.runtime import MemoryAllocator
 
-    params = SimParams(trace="1", directory=ns.directory)
+    params = _sim_params(ns)
     cluster = DexCluster(num_nodes=2, params=params)
     proc = cluster.create_process()
     alloc = MemoryAllocator(proc)
@@ -110,10 +125,9 @@ def _run_app(ns: argparse.Namespace):
     """One traced application run; recovers the tracer the app's internal
     DexCluster created."""
     from repro.bench.runner import run_point
-    from repro.params import SimParams
 
     app = _resolve_app(ns.app)
-    params = SimParams(trace="1", directory=ns.directory)
+    params = _sim_params(ns)
     tracing.reset_recent()
     result = run_point(
         app, ns.variant, ns.nodes, ns.scale,
@@ -235,6 +249,39 @@ def cmd_export(ns: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_top(ns: argparse.Namespace) -> int:
+    """Run with DexLens on and a live terminal view attached: frames print
+    as *simulated* time crosses each --interval-us boundary (rendered from
+    span-close callbacks — nothing is scheduled on the engine), then a
+    final end-of-run summary frame."""
+    from repro.obs import lens as lens_mod
+
+    lens_mod.reset_recent()
+    with lens_mod.live_view(
+        interval_us=ns.interval_us, limit=ns.limit, stream=sys.stdout
+    ):
+        tracer, stats, label = _run_traced(ns)
+    lenses = lens_mod.recent_lenses()
+    if not lenses:
+        raise SystemExit("run produced no lens (lens disabled?)")
+    lens = max(lenses, key=lambda l: l.feed.trees_completed)
+    print()
+    print(_summary(tracer.spans, tracer.dropped, label))
+    view = lens.view
+    if view is None:  # pragma: no cover - live_view always attaches one
+        view = lens_mod.TopView(
+            lens.feed, interval_us=ns.interval_us, limit=ns.limit,
+            stream=sys.stdout,
+        )
+        view.render()
+    else:
+        view.render()  # final frame at end-of-run state
+    evicted = {k: v for k, v in lens.feed.evicted.items() if v}
+    if evicted:
+        print(f"note: memory cap evicted keys: {evicted} (raise lens_max_keys)")
+    return 0
+
+
 def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--app", default="kmeans",
                    help="app short name, alias, or 'pagefault' (default kmeans)")
@@ -275,6 +322,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_export.add_argument("--input", help="saved span log instead of a run")
     p_export.add_argument("--out", help="output path (default dextrace.json)")
     p_export.set_defaults(fn=cmd_export)
+
+    p_top = sub.add_parser("top", help="live DexLens view (hot pages, "
+                           "ping-pong pairs, critical-path p50/p99)")
+    _add_workload_args(p_top)
+    p_top.add_argument("--interval-us", type=float, default=10_000.0,
+                       help="sim-time between live frames (default 10000)")
+    p_top.add_argument("--limit", type=int, default=8,
+                       help="rows per table (default 8)")
+    p_top.add_argument("--window-us", type=float, default=5_000.0,
+                       help="heat-stat sliding window (default 5000)")
+    p_top.set_defaults(fn=cmd_top, lens=True)
 
     ns = parser.parse_args(argv)
     return ns.fn(ns)

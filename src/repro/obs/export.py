@@ -2,11 +2,16 @@
 terminal timeline/top-spans reports, per-phase time attribution, and the
 span-tree validator used by tests and the CLI.
 
-Offline tooling only — nothing here runs during simulation.
+Offline tooling, plus the two shared phase vocabularies: ``PHASE_NAMES``
+(the app-phase attribution categories) and :class:`PathPhase` (the
+critical-path phases DexLens attributes latency to).  Both are the single
+source of truth — DexVet's ``lens-sink-discipline`` rule rejects phase
+labels spelled as string literals anywhere else.
 """
 
 from __future__ import annotations
 
+import enum
 import json
 from collections import defaultdict
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -96,6 +101,53 @@ _PHASES: Tuple[Tuple[str, str, int], ...] = (
 PHASE_NAMES: Tuple[str, ...] = (
     "compute", "fault_wait", "futex", "migration", "delegation", "chaos",
 )
+
+
+class PathPhase(enum.Enum):
+    """Where the microseconds of one completed span tree went — the
+    critical-path categories DexLens aggregates into histograms.  Every
+    consumer must reference members of this enum (``PathPhase.WIRE``),
+    never re-spell the labels as string literals: the DexVet
+    ``lens-sink-discipline`` rule enforces it."""
+
+    #: posting, pool acquisition, retry backoff, and the requester-side
+    #: residual (trap cost, PTE updates) — time spent waiting in line
+    QUEUE = "queue"
+    #: link serialization + propagation + receive completion (net.wire)
+    WIRE = "wire"
+    #: remote service work: rx handlers and protocol decision making
+    HANDLER = "handler"
+    #: blocked on someone else's copy: revocation round-trips, follower
+    #: waits behind a leader, futex waits
+    BLOCKED = "blocked"
+    #: the application's own cycles
+    COMPUTE = "compute"
+
+
+#: span-name prefix -> PathPhase, longest prefix first (first match wins)
+_PATH_PHASES: Tuple[Tuple[str, PathPhase], ...] = (
+    ("net.wire", PathPhase.WIRE),
+    ("net.", PathPhase.QUEUE),
+    ("rx.", PathPhase.HANDLER),
+    ("protocol.revoke", PathPhase.BLOCKED),
+    ("protocol.invalidate", PathPhase.BLOCKED),
+    ("fault.follow", PathPhase.BLOCKED),
+    ("futex.", PathPhase.BLOCKED),
+    ("fault.acquire", PathPhase.QUEUE),
+    # bare "fault" (after the specific fault.* entries above): requester-side
+    # trap/PTE/backoff work
+    ("fault", PathPhase.QUEUE),
+    ("compute", PathPhase.COMPUTE),
+)
+
+
+def path_phase_of(name: str) -> PathPhase:
+    """Critical-path phase for a span name; anything uncategorized is
+    service work (HANDLER)."""
+    for prefix, phase in _PATH_PHASES:
+        if name.startswith(prefix):
+            return phase
+    return PathPhase.HANDLER
 
 
 def phase_of(name: str) -> Optional[Tuple[str, int]]:

@@ -216,6 +216,18 @@ class Histogram(_LabeledMixin):
             seen += n
         return hist.max
 
+    def quantiles(self, *ps: float) -> Dict[str, float]:
+        """Bucket-resolution quantile estimates for several points in one
+        call (one merge), keyed ``"p50"``/``"p99"``/``"p999"``-style: the
+        label is ``p`` followed by the percentile with any fraction's
+        digits appended (99.9 -> ``p999``)."""
+        hist = self._merged()
+        out: Dict[str, float] = {}
+        for p in ps:
+            label = f"p{p:g}".replace(".", "")
+            out[label] = hist.percentile(p)
+        return out
+
     def snapshot(self) -> Dict[str, Any]:
         hist = self._merged()
         return {
@@ -224,9 +236,7 @@ class Histogram(_LabeledMixin):
             "mean": hist.mean,
             "min": hist.min if hist.count else None,
             "max": hist.max if hist.count else None,
-            "p50": hist.percentile(50),
-            "p90": hist.percentile(90),
-            "p99": hist.percentile(99),
+            **hist.quantiles(50, 90, 99, 99.9),
         }
 
 
@@ -300,7 +310,8 @@ class MetricsRegistry:
                     continue
                 lines.append(
                     f"{name:<34} count={snap['count']:<9} mean={snap['mean']:.2f}"
-                    f" p50={snap['p50']:.2f} p99={snap['p99']:.2f} max={snap['max']:.2f}"
+                    f" p50={snap['p50']:.2f} p99={snap['p99']:.2f}"
+                    f" p999={snap['p999']:.2f} max={snap['max']:.2f}"
                 )
             elif isinstance(metric, Counter) and metric._children:
                 total = metric.total()

@@ -1,0 +1,158 @@
+"""The crash flight recorder: fixed-size per-node rings of recent spans
+and protocol messages, dumped as a Perfetto-loadable snapshot on failure.
+
+The recorder is a tracer sink (see :meth:`repro.obs.tracing.Tracer.add_sink`):
+``on_span_close`` appends each closed span to its node's ring and
+``on_message`` records a compact summary of every traced outbound message.
+Rings are ``collections.deque(maxlen=...)`` — O(1) append, fixed memory,
+the tail of history falls off the far end — so the recorder's cost and
+footprint are independent of run length.
+
+A dump combines three kinds of evidence:
+
+* the ring spans (recent completed work, per node),
+* every span still *open* at dump time (a deadlocked thread's blocked
+  span never closes — the rings alone would miss the most important
+  evidence), synthetically closed at the dump timestamp and marked
+  ``unfinished`` in its args, and
+* the message ring, rendered as instant events on a per-node lane.
+
+The snapshot file is Chrome trace-event JSON (load at ui.perfetto.dev)
+with extra top-level keys (``format``/``reason``/``spans``) that Perfetto
+ignores but :func:`load_snapshot` round-trips, so the export-side tree
+validators run on crash dumps unchanged.
+
+``DexCluster.simulate`` triggers the dump automatically for any
+:class:`~repro.core.errors.DexError` — deadlocks, sanitizer violations,
+unrecovered chaos crashes — when the lens is on (``DEX_LENS=1``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Dict, List, Tuple
+
+from repro.obs.export import chrome_trace
+from repro.obs.tracing import Span, Tracer
+
+__all__ = ["FlightRecorder", "load_snapshot"]
+
+SNAPSHOT_FORMAT = "dex-flightrec-v1"
+
+
+class FlightRecorder:
+    """Per-node bounded history of closed spans and outbound messages."""
+
+    def __init__(
+        self,
+        tracer: Tracer,
+        *,
+        num_nodes: int,
+        ring_spans: int = 4096,
+        ring_msgs: int = 2048,
+    ):
+        self.tracer = tracer
+        self.num_nodes = num_nodes
+        self.ring_spans = ring_spans
+        self.ring_msgs = ring_msgs
+        # node -1 (unbound service work) gets its own ring at index num_nodes
+        self._spans: List[deque] = [
+            deque(maxlen=ring_spans) for _ in range(num_nodes + 1)
+        ]
+        self._msgs: List[deque] = [
+            deque(maxlen=ring_msgs) for _ in range(num_nodes + 1)
+        ]
+        self.spans_seen = 0
+        self.msgs_seen = 0
+
+    def _ring_index(self, node: int) -> int:
+        return node if 0 <= node < self.num_nodes else self.num_nodes
+
+    # -- sink protocol -------------------------------------------------------
+
+    def on_span_close(self, span: Span) -> None:
+        self._spans[self._ring_index(span.node)].append(span)
+        self.spans_seen += 1
+
+    def on_message(self, now: float, msg) -> None:
+        self._msgs[self._ring_index(msg.src)].append((
+            now, msg.msg_type, msg.src, msg.dst, msg.trace_id, msg.parent_span,
+        ))
+        self.msgs_seen += 1
+
+    # -- snapshot ------------------------------------------------------------
+
+    def snapshot_spans(self) -> List[Span]:
+        """Ring contents plus currently-open spans, deduped by span id (an
+        adopted root can close into the ring between dump decision and
+        write), oldest first."""
+        seen: Dict[int, Span] = {}
+        for ring in self._spans:
+            for span in ring:
+                seen[span.span_id] = span
+        now = self.tracer.engine.now
+        for span in self.tracer.open_spans():
+            if span.span_id in seen:
+                continue
+            attrs = dict(span.attrs)
+            attrs["unfinished"] = True
+            seen[span.span_id] = Span(
+                span.name, span.span_id, span.trace_id, span.parent_id,
+                span.node, span.tid, span.start_us, now, attrs,
+            )
+        return [seen[k] for k in sorted(seen)]
+
+    def snapshot_messages(self) -> List[Tuple]:
+        out: List[Tuple] = []
+        for ring in self._msgs:
+            out.extend(ring)
+        out.sort(key=lambda rec: rec[0])
+        return out
+
+    def dump(self, path: str, *, reason: str = "") -> Dict[str, Any]:
+        """Write the snapshot to *path*; returns the document."""
+        spans = self.snapshot_spans()
+        doc = chrome_trace(spans, dropped=self.tracer.dropped)
+        for now, msg_type, src, dst, trace_id, parent_span in self.snapshot_messages():
+            doc["traceEvents"].append({
+                "name": f"{msg_type} ->n{dst}",
+                "cat": "msg",
+                "ph": "i",
+                "s": "t",  # thread-scoped instant
+                "pid": src if src >= 0 else 0,
+                "tid": 999,  # dedicated message lane, below the service lanes
+                "ts": now,
+                "args": {"trace": trace_id, "parent_span": parent_span},
+            })
+        doc["format"] = SNAPSHOT_FORMAT
+        doc["reason"] = reason
+        doc["spans"] = [s.to_dict() for s in spans]
+        doc["otherData"]["reason"] = reason
+        doc["otherData"]["spans_in_rings"] = sum(len(r) for r in self._spans)
+        doc["otherData"]["spans_seen"] = self.spans_seen
+        doc["otherData"]["msgs_seen"] = self.msgs_seen
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+        return doc
+
+
+def load_snapshot(path: str) -> Tuple[List[Span], Dict[str, Any]]:
+    """Load a flight-recorder snapshot; returns ``(spans, meta)`` where
+    meta carries ``format``/``reason`` and the Perfetto ``otherData``.
+    Raises ``ValueError`` for files that aren't flight-recorder dumps."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("format") != SNAPSHOT_FORMAT:
+        raise ValueError(
+            f"{path!r} is not a flight-recorder snapshot"
+            f" (format={doc.get('format')!r})"
+        )
+    spans = [Span.from_dict(d) for d in doc.get("spans", [])]
+    meta = {
+        "format": doc["format"],
+        "reason": doc.get("reason", ""),
+        "otherData": doc.get("otherData", {}),
+        "events": len(doc.get("traceEvents", [])),
+    }
+    return spans, meta

@@ -16,6 +16,14 @@ never steal each other's parents.  When tracing is off (``DEX_TRACE``
 unset and ``SimParams.trace`` falsy) no tracer exists at all: hot paths
 guard on ``proc.obs is None`` / use :func:`maybe_span`, and the engine
 runs with empty hooks — zero cost.
+
+Online consumers (the DexLens analytics layer, the flight recorder)
+subscribe through :meth:`Tracer.add_sink`: a sink's ``on_span_close`` fires
+once per span, at close time, with the span's final attrs — the only
+sanctioned way to observe spans during the run.  Sinks that also define
+``on_message`` additionally see every traced outbound message.  With no
+sinks registered the close path costs one truthiness test on a pre-bound
+(empty) callback list.
 """
 
 from __future__ import annotations
@@ -108,15 +116,19 @@ class _SpanHandle:
         return self.span
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        self.span.end_us = self._tracer.engine.now
-        stack = self._tracer._stacks.get(self._key)
+        tracer = self._tracer
+        self.span.end_us = tracer.engine.now
+        stack = tracer._stacks.get(self._key)
         if stack is not None:
             try:
                 stack.remove(self.span)
             except ValueError:  # pragma: no cover - defensive
                 pass
             if not stack:
-                del self._tracer._stacks[self._key]
+                del tracer._stacks[self._key]
+        if tracer._sink_close:
+            for close in tracer._sink_close:
+                close(self.span)
         return False
 
 
@@ -175,9 +187,37 @@ class Tracer:
         # span stacks keyed by the sim Process that opened them (None key =
         # spans opened outside any process, e.g. test driver code)
         self._stacks: Dict[Any, List[Span]] = {}
+        #: registered sinks plus their pre-bound callback lists; the close
+        #: path iterates `_sink_close` directly (no getattr per span)
+        self._sinks: List[Any] = []
+        self._sink_close: List[Any] = []
+        self._sink_msg: List[Any] = []
         engine.tracer = self
         engine.add_hook(self)
         _RECENT.append(self)
+
+    # -- sinks ---------------------------------------------------------------
+
+    def add_sink(self, sink) -> None:
+        """Register an online span consumer.  ``sink.on_span_close(span)``
+        fires once per span at close time (lexical closes and adopted
+        handler-root closes alike); a sink that also defines
+        ``on_message(now, msg)`` sees every traced outbound message.  This
+        is the only sanctioned registration path — direct mutation of the
+        sink lists is a DexVet ``lens-sink-discipline`` violation."""
+        self._sinks.append(sink)
+        self._sink_close.append(sink.on_span_close)
+        on_message = getattr(sink, "on_message", None)
+        if on_message is not None:
+            self._sink_msg.append(on_message)
+
+    def note_message(self, msg) -> None:
+        """Offer an outbound message to the registered sinks (called by the
+        fabric's traced send path, right after :meth:`inject`)."""
+        if self._sink_msg:
+            now = self.engine.now
+            for cb in self._sink_msg:
+                cb(now, msg)
 
     # -- engine hook ---------------------------------------------------------
 
@@ -196,6 +236,9 @@ class Tracer:
                 # markers belong to, and are closed by, another stack
                 if span.adopted and span.end_us is None:
                     span.end_us = now
+                    if self._sink_close:
+                        for close in self._sink_close:
+                            close(span)
 
     # -- recording -----------------------------------------------------------
 
@@ -212,6 +255,17 @@ class Tracer:
         """Innermost open span of the currently executing process."""
         stack = self._stacks.get(self._key())
         return stack[-1] if stack else None
+
+    def open_spans(self) -> List[Span]:
+        """Every span still open right now, across all processes — the
+        flight recorder dumps these as crash evidence (a deadlocked thread's
+        blocked span never closes, so the ring alone would miss it)."""
+        seen: Dict[int, Span] = {}
+        for stack in self._stacks.values():
+            for span in stack:
+                if span.end_us is None:
+                    seen[span.span_id] = span
+        return [seen[k] for k in sorted(seen)]
 
     def span(self, name: str, *, node: int = -1, tid: int = -1, **attrs: Any) -> _SpanHandle:
         """Open a span as a context manager::

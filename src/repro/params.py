@@ -182,6 +182,29 @@ class SimParams:
     #: span-recording cap per tracer; further spans are counted as dropped
     trace_max_spans: int = 1_000_000
 
+    # ---- online analytics (see repro.obs.lens — DexLens) ------------------
+    #: streaming trace analytics: "" off, "1"/"on" on.  None defers to the
+    #: DEX_LENS environment variable.  Turning the lens on implies a tracer
+    #: (it subscribes to span closes); with it off no lens object exists and
+    #: nothing beyond the tracer's empty sink list is ever touched
+    lens: Optional[str] = None
+    #: sliding sim-time window for the heat statistics (fault rate, owner
+    #: churn, ping-pong pairs), and its slice count (decay granularity)
+    lens_window_us: float = 5_000.0
+    lens_window_slices: int = 8
+    #: memory cap per heat statistic: beyond this many live keys, the
+    #: coldest keys are evicted (counted, never silent)
+    lens_max_keys: int = 4096
+    #: completed span trees the critical-path extractor may hold open at
+    #: once; older incomplete trees are evicted FIFO
+    lens_max_traces: int = 256
+    #: flight-recorder ring capacities, per node (closed spans / messages)
+    lens_ring_spans: int = 4096
+    lens_ring_msgs: int = 2048
+    #: crash-dump path for the flight recorder ("" disables auto-dump;
+    #: None means the default ./dex-flightrec.json)
+    lens_dump_path: Optional[str] = None
+
     # ---- feature switches (for ablations) ---------------------------------
     #: leader-follower coalescing of concurrent same-page faults (§III-C)
     enable_fault_coalescing: bool = True

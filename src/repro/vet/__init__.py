@@ -9,7 +9,7 @@ One parse of the package feeds four cooperating passes:
 4. **message graph** — per ``MsgType`` member: send sites, registered
    handlers, and request↔reply pairing via reachability.
 
-Rules (the seven ported per-file lint rules plus six whole-program
+Rules (the seven ported per-file lint rules plus seven whole-program
 protocol rules) run off the shared :class:`~repro.vet.rules.VetContext`.
 Entry point: ``python -m repro.vet`` — see :mod:`repro.vet.cli`.
 """
@@ -27,7 +27,7 @@ from repro.vet.rules import REGISTRY, VetContext, Violation, run_rules
 from repro.vet import legacy as _legacy  # registers the seven ported rules
 from repro.vet.legacy import LEGACY_RULES
 
-#: the six whole-program rules that need the shared graph/effect passes
+#: the seven whole-program rules that need the shared graph/effect passes
 GRAPH_RULES = (
     "handler-totality",
     "orphan-message-type",
@@ -35,6 +35,7 @@ GRAPH_RULES = (
     "dropped-wait",
     "inject-coverage",
     "chaos-reachability",
+    "lens-sink-discipline",
 )
 
 #: every selectable rule, in report order

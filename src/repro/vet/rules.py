@@ -382,3 +382,78 @@ def _check_chaos_reachability(ctx: VetContext) -> List[Violation]:
                     ),
                 ))
     return violations
+
+#: the tracer's sink registries; only Tracer.add_sink (obs/tracing.py)
+#: may touch them — everything else must go through the hook
+_SINK_LISTS = frozenset({"_sinks", "_sink_close", "_sink_msg"})
+_LIST_MUTATORS = frozenset({"append", "extend", "insert", "remove", "clear"})
+
+
+@rule("lens-sink-discipline")
+def _check_lens_sink_discipline(ctx: VetContext) -> List[Violation]:
+    """DexLens consumers: (a) sinks hook in via Tracer.add_sink only —
+    mutating the tracer's sink lists directly skips the pre-bound callback
+    registration and the one sanctioned subscription point; (b) critical-
+    path phase labels come from the PathPhase enum (repro.obs.export),
+    never re-spelled as string literals."""
+    violations: List[Violation] = []
+    for scan in ctx.scans:
+        owns_lists = scan.module.rel.endswith("obs/tracing.py")
+        for node in ast.walk(scan.tree):
+            if not isinstance(node, (ast.Call, ast.Assign, ast.AugAssign)):
+                continue
+            # (a) direct mutation of a tracer's sink lists
+            if not owns_lists:
+                touched: Optional[ast.Attribute] = None
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _LIST_MUTATORS
+                    and isinstance(node.func.value, ast.Attribute)
+                    and node.func.value.attr in _SINK_LISTS
+                ):
+                    touched = node.func.value
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and target.attr in _SINK_LISTS
+                        ):
+                            touched = target
+                            break
+                if touched is not None:
+                    violations.append(Violation(
+                        rule="lens-sink-discipline",
+                        path=str(scan.path),
+                        line=node.lineno,
+                        message=(
+                            f"direct mutation of tracer sink list "
+                            f"'.{touched.attr}' — register online span "
+                            f"consumers via Tracer.add_sink(...) only"
+                        ),
+                    ))
+            # (b) phase labels spelled as string literals
+            if isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if (
+                        kw.arg == "phase"
+                        and isinstance(kw.value, ast.Constant)
+                        and isinstance(kw.value.value, str)
+                    ):
+                        violations.append(Violation(
+                            rule="lens-sink-discipline",
+                            path=str(scan.path),
+                            line=kw.value.lineno,
+                            message=(
+                                f"critical-path phase label "
+                                f"{kw.value.value!r} spelled as a string "
+                                f"literal — use the shared PathPhase enum "
+                                f"(repro.obs.export), e.g. "
+                                f"PathPhase.QUEUE.value"
+                            ),
+                        ))
+    return violations

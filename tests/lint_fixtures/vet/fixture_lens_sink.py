@@ -1,0 +1,34 @@
+"""Seeded lens-sink-discipline violations: direct mutation of a tracer's
+sink lists (bypassing Tracer.add_sink) and a critical-path phase label
+spelled as a string literal instead of the PathPhase enum."""
+
+
+class HeatProbe:
+    def __init__(self, tracer, histogram):
+        self.hits = 0
+        # BAD: direct mutation of the tracer's sink registry — the
+        # pre-bound callback lists go stale
+        tracer._sinks.append(self)
+        tracer._sink_close.append(self.on_span_close)
+        self.histogram = histogram
+
+    def on_span_close(self, span):
+        self.hits += 1
+        # BAD: phase label as a string literal, not PathPhase.WIRE.value
+        self.histogram.labels(phase="wire", app="other").observe(
+            span.duration_us
+        )
+
+    def detach(self, tracer):
+        # BAD: assignment counts as direct mutation too
+        tracer._sink_msg = []
+
+
+def register(tracer, probe):
+    # GOOD: the one sanctioned subscription point
+    tracer.add_sink(probe)
+
+
+def record(histogram, phase, us):
+    # GOOD: the label value arrives from the enum, not a literal
+    histogram.labels(phase=phase.value, app="other").observe(us)

@@ -82,6 +82,28 @@ def test_histogram_percentiles_ordered_and_clamped():
     assert Histogram("empty").percentile(99) == 0.0
 
 
+def test_histogram_quantiles_keys_and_ordering():
+    h = Histogram("q")
+    for v in range(1, 1001):
+        h.observe(float(v))
+    q = h.quantiles(50, 99, 99.9)
+    # key scheme: p{value} with the decimal point dropped (99.9 -> p999)
+    assert set(q) == {"p50", "p99", "p999"}
+    assert q["p50"] <= q["p99"] <= q["p999"] <= h.max
+    assert q["p50"] == h.percentile(50)
+    snap = h.snapshot()
+    # the satellite contract: snapshots (and thus report lines) carry p999
+    assert snap["p999"] == q["p999"]
+    assert snap["p50"] <= snap["p90"] <= snap["p99"] <= snap["p999"]
+
+
+def test_report_includes_tail_quantiles():
+    reg = MetricsRegistry()
+    reg.histogram("lat").observe(5.0)
+    text = reg.report()
+    assert "p999=" in text and "p50=" in text
+
+
 def test_histogram_labels_merge():
     h = Histogram("modes", labelnames=("mode",))
     h.labels(mode="fast").observe(1.0)

@@ -30,11 +30,12 @@ from repro.runtime import MemoryAllocator
 GUARDS_PER_FAULT = 64
 
 
-def _run_workload(trace):
-    """A contended 2-node ping-pong; sanitize off explicitly so the check
-    matrix's DEX_SANITIZE=1 cannot add hooks of its own."""
+def _run_workload(trace, lens=""):
+    """A contended 2-node ping-pong; sanitize and lens off explicitly so
+    the check matrix's DEX_SANITIZE=1 / DEX_LENS=1 cannot add hooks of
+    their own."""
     cluster = DexCluster(
-        num_nodes=2, params=SimParams(trace=trace, sanitize=""))
+        num_nodes=2, params=SimParams(trace=trace, sanitize="", lens=lens))
     proc = cluster.create_process()
     alloc = MemoryAllocator(proc)
     var = alloc.alloc_global(8, tag="hot")
@@ -89,6 +90,7 @@ def test_chaos_and_check_off_paths_are_single_attribute(monkeypatch):
 
 def test_trace_knob_resolution(monkeypatch):
     monkeypatch.delenv("DEX_TRACE", raising=False)
+    monkeypatch.delenv("DEX_LENS", raising=False)  # the lens implies a tracer
     assert DexCluster(num_nodes=2, params=SimParams(trace="")).tracer is None
     assert DexCluster(num_nodes=2, params=SimParams(trace="1")).tracer is not None
     monkeypatch.setenv("DEX_TRACE", "1")
@@ -106,6 +108,12 @@ def test_tracing_does_not_perturb_the_simulation():
     assert on_proc.stats.total_faults == off_proc.stats.total_faults
     assert on_proc.stats.fault_retries == off_proc.stats.fault_retries
     assert on_cluster.tracer.spans and off_cluster.tracer is None
+    # with the lens off the tracer's sink lists stay empty: the span-close
+    # path is one truthiness test on a pre-bound empty list
+    assert on_cluster.lens is None
+    assert on_cluster.tracer._sinks == []
+    assert on_cluster.tracer._sink_close == []
+    assert on_cluster.tracer._sink_msg == []
 
 
 def test_off_mode_guard_cost_within_three_percent(monkeypatch):

@@ -45,7 +45,8 @@ def test_list_rules(capsys):
     names = out.split()
     assert "dropped-wait" in names
     assert "unhandled-message-type" in names
-    assert len(names) == 13
+    assert "lens-sink-discipline" in names
+    assert len(names) == 14
 
 
 def test_unknown_rule_exits_2(capsys):

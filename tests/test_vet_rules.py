@@ -23,7 +23,7 @@ def rules_fired(violations):
 
 def test_registry_contains_all_rules():
     assert set(ALL_RULES) == set(GRAPH_RULES) | set(LEGACY_RULES)
-    assert len(ALL_RULES) == 13
+    assert len(ALL_RULES) == 14
 
 
 def test_dropped_wait_fixture():
@@ -97,6 +97,39 @@ def test_chaos_bypass_fixture_needs_fabric_in_scope():
     assert "_send_impl" in v.message
 
 
+def test_lens_sink_fixture():
+    violations = vet_fixture("fixture_lens_sink.py")
+    assert rules_fired(violations) == ["lens-sink-discipline"]
+    by_line = {v.line: v.message for v in violations}
+    # direct .append on the tracer's sink registries
+    assert 11 in by_line and "Tracer.add_sink" in by_line[11]
+    assert 12 in by_line and "_sink_close" in by_line[12]
+    # phase label spelled as a string literal
+    assert 18 in by_line and "PathPhase" in by_line[18]
+    # plain assignment counts as mutation too
+    assert 24 in by_line and "_sink_msg" in by_line[24]
+    # the sanctioned forms (add_sink, phase=enum.value) stay quiet
+    assert len(violations) == 4
+
+
+def test_lens_sink_baseline_suppression():
+    # a [[suppress]] baseline entry silences the new rule like any other
+    import datetime
+
+    from repro.vet.baseline import Baseline, Suppression
+
+    violations = vet_fixture("fixture_lens_sink.py")
+    baseline = Baseline([Suppression(
+        rule="lens-sink-discipline",
+        path="fixture_lens_sink.py",
+        reason="seeded fixture",
+    )])
+    reported, suppressed = baseline.apply(
+        violations, today=datetime.date(2026, 8, 8)
+    )
+    assert reported == [] and len(suppressed) == len(violations)
+
+
 def test_clean_fixtures_zero_false_positives():
     assert vet_fixture("fixture_clean.py") == []
     assert vet_fixture("fixture_fabric.py") == []
@@ -109,6 +142,7 @@ def test_whole_corpus_scan_detects_every_seeded_bug():
     assert {
         "dropped-wait", "orphan-message-type", "handler-totality",
         "reply-pairing", "inject-coverage", "chaos-reachability",
+        "lens-sink-discipline",
     } <= fired
 
 
