@@ -25,6 +25,11 @@ fewer engine events for the same simulated work:
 ``--quick`` measures a scaled-down point set (seconds, CI-friendly) and,
 when a baseline file exists, fails if any point's wall-clock regressed
 more than ``--max-regression`` (default 25%).
+
+Each run *appends* a timestamped entry to the document's ``trajectory``
+list (capped, oldest dropped) rather than overwriting history, so the
+output file accumulates a run-over-run performance record;
+``python -m repro.obs diff --bench BENCH_engine.json`` trend-checks it.
 """
 
 from __future__ import annotations
@@ -202,22 +207,59 @@ def render(points: Dict[str, Dict], reference: Dict[str, Dict]) -> str:
     return "\n".join(lines)
 
 
+#: trajectory entries retained in the bench document (oldest dropped)
+TRAJECTORY_CAP = 200
+
+
+def update_bench_doc(
+    existing: Optional[Dict],
+    mode: str,
+    points: Dict[str, Dict],
+    timestamp: float,
+) -> Dict:
+    """Fold one measured point set into the bench document.
+
+    The latest measurement replaces the top-level ``points`` (so existing
+    consumers keep reading the newest numbers), and is *appended* to the
+    ``trajectory`` list — the run-over-run history ``repro.obs diff
+    --bench`` trend-checks — instead of overwriting it.  History is capped
+    at :data:`TRAJECTORY_CAP` entries; pure, so unit tests exercise the
+    append/cap behaviour without running a benchmark."""
+    doc = dict(existing) if existing else {}
+    doc["schema"] = 1
+    doc["bench"] = "DexSpeed engine trajectory"
+    doc["mode"] = mode
+    doc["points"] = points
+    entry = {
+        "ts": round(float(timestamp), 3),
+        "date": time.strftime("%Y-%m-%d %H:%M:%SZ", time.gmtime(timestamp)),
+        "mode": mode,
+        "points": points,
+    }
+    trajectory = list(doc.get("trajectory", []))
+    trajectory.append(entry)
+    doc["trajectory"] = trajectory[-TRAJECTORY_CAP:]
+    return doc
+
+
 def perf_main(args) -> int:
     """Driver for ``python -m repro.bench perf``."""
     points = run_perf(quick=args.quick, repeats=args.repeats)
     mode = "quick" if args.quick else "full"
-    doc = {
-        "schema": 1,
-        "bench": "DexSpeed engine trajectory",
-        "mode": mode,
-        "points": points,
-    }
+    out = args.out or ("BENCH_PR.json" if args.quick else "BENCH_engine.json")
+    existing: Optional[Dict] = None
+    if os.path.exists(out):
+        try:
+            with open(out) as fh:
+                existing = json.load(fh)
+        except (OSError, ValueError):
+            existing = None  # corrupt/legacy file: start a fresh document
+    doc = update_bench_doc(existing, mode, points, time.time())
     if not args.quick:
         # a full run also records the quick point set so that later
         # quick (CI) runs have same-workload numbers to compare against
         doc["quick_points"] = run_perf(quick=True, repeats=args.repeats)
         doc["reference"] = {"pre_refactor": PRE_REFACTOR_REFERENCE}
-    out = args.out or ("BENCH_PR.json" if args.quick else "BENCH_engine.json")
     with open(out, "w") as fh:
         json.dump(doc, fh, indent=1)
         fh.write("\n")

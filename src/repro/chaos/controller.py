@@ -232,6 +232,11 @@ class ChaosController:
     def note_retransmit(self, msg: Message, attempt: int) -> None:
         self.retransmissions.inc()
 
+    def inflight_requests(self) -> int:
+        """Reliable requests currently awaiting a reply, across all
+        destinations (read-only; the DexScope in-flight gauge)."""
+        return sum(len(pending) for pending in self._pending_to.values())
+
     def note_unreachable(self, node: int, msg: Message) -> None:
         """Retry exhaustion: the second detection path next to the lease."""
         self.declare_failed(

@@ -31,8 +31,9 @@ from repro.core.errors import DexError
 from repro.core.process import DexProcess
 from repro.net.fabric import Network
 from repro.net.messages import Message, MsgType
-from repro.obs import resolve_lens_mode, resolve_trace_mode
+from repro.obs import resolve_lens_mode, resolve_scope_mode, resolve_trace_mode
 from repro.obs.lens import DexLens
+from repro.obs.scope import DexScope
 from repro.obs.tracing import Tracer
 from repro.params import SimParams
 from repro.sim import Engine, FairShareResource, Resource
@@ -114,6 +115,12 @@ class DexCluster:
         #: the sink lists stay empty
         self.lens: Optional[DexLens] = (
             DexLens(self, self.tracer) if lens_on else None
+        )
+        #: the DexScope time-series sampler (repro.obs.scope), or None when
+        #: telemetry is off — with it off the engine never fires a sampler
+        #: and the fabric's wire path skips its timing reads
+        self.scope: Optional[DexScope] = (
+            DexScope(self) if resolve_scope_mode(self.params.scope) else None
         )
         self._register_handlers()
         if self.chaos is not None:

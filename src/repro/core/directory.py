@@ -44,7 +44,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.memory.radix_tree import RadixTree
 
@@ -174,6 +174,20 @@ class CoherenceDirectory:
         if state.directory_shard.node < 0:
             state.directory_shard.node = node
         return state.directory_shard
+
+    def requests_by_home(self) -> Dict[int, int]:
+        """``{hosting node: requests_served}`` over shards that exist.
+
+        Read-only, unlike :meth:`shard`: it walks only node states already
+        materialized, never creating one — so the DexScope sampler can call
+        it without perturbing lazily-created state (and the run stays
+        bit-identical with sampling on)."""
+        out: Dict[int, int] = {}
+        for node, state in self.proc.iter_node_states():
+            shard = state.directory_shard
+            if shard.requests_served or len(shard):
+                out[node] = shard.requests_served
+        return out
 
     def lookup(self, vpn: int) -> Optional[PageEntry]:
         return self.shard(self.home(vpn)).tree.get(vpn)

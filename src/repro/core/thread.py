@@ -33,6 +33,19 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.process import DexProcess
 
 
+def threads_by_node(proc: "DexProcess") -> dict:
+    """Live application threads resident per node — ``{node: count}``.
+
+    Read-only over the thread list (a DexScope sampler calling this cannot
+    perturb the run); nodes with no resident threads are absent."""
+    counts: dict = {}
+    for thread in proc.threads:
+        if thread.alive:
+            node = thread.current_node
+            counts[node] = counts.get(node, 0) + 1
+    return counts
+
+
 class DexThread:
     """One application thread of a distributed process."""
 

@@ -82,6 +82,10 @@ class Network:
         #: hook below is gated on one `is None` test so the chaos-off send
         #: path stays bit-identical
         self.chaos = chaos
+        #: the DexScope sampler when time-series telemetry is on, else None
+        #: (set by DexCluster after construction); the wire path measures
+        #: per-link queueing delay only behind one `is None` test
+        self.scope = None
         self.nics: List[NodeNIC] = [
             NodeNIC(engine, n, params) for n in range(num_nodes)
         ]
@@ -305,7 +309,13 @@ class Network:
     ) -> Generator:
         params = self.params
         # serialize onto the link under fair sharing with concurrent sends
-        yield self.nics[conn.src].tx.consume(wire_bytes, tag=msg.msg_type)
+        scope = self.scope
+        if scope is None:
+            yield self.nics[conn.src].tx.consume(wire_bytes, tag=msg.msg_type)
+        else:
+            sent_at = self.engine.now
+            yield self.nics[conn.src].tx.consume(wire_bytes, tag=msg.msg_type)
+            scope.note_wire(conn, wire_bytes, self.engine.now - sent_at)
         conn.send_pool.release()  # send completion reclaims the chunk
         yield self.engine.timeout(params.wire_latency)
         # receiver: consume a posted receive, reap the completion

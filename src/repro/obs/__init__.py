@@ -42,6 +42,7 @@ __all__ = [
     "load_spans",
     "maybe_span",
     "resolve_lens_mode",
+    "resolve_scope_mode",
     "resolve_trace_mode",
 ]
 
@@ -78,4 +79,21 @@ def resolve_lens_mode(setting: Optional[str]) -> str:
         return "on"
     raise ValueError(
         f"unknown lens mode {setting!r}; expected one of '', '1'/'on'"
+    )
+
+
+def resolve_scope_mode(setting: Optional[str]) -> str:
+    """Normalize a ``SimParams.scope`` setting to ``""`` (off) or ``"on"``.
+    ``None`` defers to the ``DEX_SCOPE`` environment variable — the same
+    deferral scheme as ``trace``/``lens``.  Unlike the lens, the scope does
+    not imply a tracer: it samples gauges, not spans."""
+    if setting is None:
+        setting = os.environ.get("DEX_SCOPE", "")
+    mode = str(setting).strip().lower()
+    if mode in _OFF:
+        return ""
+    if mode in _ON - {"spans"}:
+        return "on"
+    raise ValueError(
+        f"unknown scope mode {setting!r}; expected one of '', '1'/'on'"
     )

@@ -2,18 +2,31 @@
 
 Subcommands::
 
-    python -m repro.obs run    --app kmeans --nodes 4 --out spans.json
-    python -m repro.obs report --input spans.json
-    python -m repro.obs report --app BFS --nodes 8
-    python -m repro.obs export --app kmeans --nodes 4 --out trace.json
-    python -m repro.obs top    --app kmeans --nodes 4 --interval-us 10000
+    python -m repro.obs run      --app kmeans --nodes 4 --out spans.json
+    python -m repro.obs report   --input spans.json
+    python -m repro.obs report   --app BFS --nodes 8
+    python -m repro.obs export   --app kmeans --nodes 4 --out trace.json
+    python -m repro.obs top      --app kmeans --nodes 4 --interval-us 10000
+    python -m repro.obs manifest --app KMN --nodes 4 --out dex-run.json
+    python -m repro.obs diff     baseline.json candidate.json --check
 
 ``run`` saves the raw span log (``dextrace-spans-v1`` JSON), ``report``
 prints the terminal timeline / top-spans / per-phase attribution views,
-``export`` writes Chrome trace-event JSON for ui.perfetto.dev, and
-``top`` runs with the DexLens analytics on, rendering live frames
-(hottest pages, worst ping-pong pairs, p50/p99 critical-path breakdown)
-every ``--interval-us`` of *simulated* time plus a final summary frame.
+``export`` writes Chrome trace-event JSON for ui.perfetto.dev (pass
+``--scope`` to merge the DexScope utilization series in as Perfetto
+counter tracks), and ``top`` runs with the DexLens analytics on,
+rendering live frames (hottest pages, worst ping-pong pairs, p50/p99
+critical-path breakdown) every ``--interval-us`` of *simulated* time
+plus a final summary frame.
+
+``manifest`` runs with DexScope + DexLens on and writes the versioned
+run manifest (``dex-run-v1``: params, seed, counters, latency
+quantiles, critical-path phase totals, downsampled utilization series);
+``diff`` compares two manifests — ranked per-metric deltas, dominant
+critical-path phase, hottest directory shard — and with ``--check``
+exits nonzero on a thresholded headline regression (the CI trend
+guard).  ``diff --bench BENCH_engine.json`` trend-checks the benchmark
+trajectory instead.
 
 ``--app`` takes a Figure 2 short name (KMN, GRP, BT, EP, FT, BLK, BFS,
 BP), a long alias (``kmeans``, ``blackscholes``, ...), or ``pagefault`` —
@@ -25,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import ast
+import json
 import sys
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -81,7 +95,10 @@ def _sim_params(ns: argparse.Namespace):
     kwargs: Dict[str, Any] = {"trace": "1", "directory": ns.directory}
     if getattr(ns, "lens", False):
         kwargs["lens"] = "1"
-        kwargs["lens_window_us"] = ns.window_us
+        if hasattr(ns, "window_us"):
+            kwargs["lens_window_us"] = ns.window_us
+    if getattr(ns, "scope", False):
+        kwargs["scope"] = "1"
     return SimParams(**kwargs)
 
 
@@ -237,16 +254,89 @@ def cmd_report(ns: argparse.Namespace) -> int:
 
 
 def cmd_export(ns: argparse.Namespace) -> int:
+    from repro.obs import scope as scope_mod
+
+    scope_mod.reset_recent()
     spans, dropped, stats, label = _load_or_run(ns)
+    counters = None
+    scopes = scope_mod.recent_scopes()
+    if scopes:
+        # --scope run: merge the utilization series as counter tracks
+        counters = max(scopes, key=lambda s: s.samples).counter_events()
     out = ns.out or "dextrace.json"
-    count = write_chrome_trace(out, spans, dropped=dropped)
+    count = write_chrome_trace(out, spans, dropped=dropped, counters=counters)
     print(_summary(spans, dropped, label))
     print(f"wrote {count} trace events to {out} (open at ui.perfetto.dev)")
+    if counters:
+        print(f"merged {len(counters)} DexScope counter-track events")
     print(_fault_tree_line(spans))
     agreement = _migration_agreement_line(spans, stats)
     if agreement:
         print(agreement)
     return 0
+
+
+def cmd_manifest(ns: argparse.Namespace) -> int:
+    """One run with DexScope (and by default DexLens) on, captured as the
+    versioned ``dex-run-v1`` manifest that ``diff`` compares."""
+    from repro.bench.runner import run_point
+    from repro.obs import lens as lens_mod
+    from repro.obs import scope as scope_mod
+    from repro.obs.manifest import build_manifest, write_manifest
+
+    app = _resolve_app(ns.app)
+    if app == "PAGEFAULT":
+        raise SystemExit("manifest captures application runs; pick a "
+                         "Figure 2 app (KMN, GRP, ...)")
+    params = _sim_params(ns)
+    tracing.reset_recent()
+    lens_mod.reset_recent()
+    scope_mod.reset_recent()
+    result = run_point(
+        app, ns.variant, ns.nodes, ns.scale,
+        params=params, **_overrides(ns.app_arg),
+    )
+    scopes = scope_mod.recent_scopes()
+    if not scopes:
+        raise SystemExit(f"{app}: run produced no scope (DexScope disabled?)")
+    scope = max(scopes, key=lambda s: s.samples)
+    lenses = [l for l in lens_mod.recent_lenses() if l.cluster is scope.cluster]
+    doc = build_manifest(
+        result, scope.cluster,
+        scope=scope, lens=lenses[-1] if lenses else None,
+        label=ns.label,
+    )
+    out = ns.out or "dex-run.json"
+    write_manifest(out, doc)
+    print(
+        f"wrote {out}: {doc['label']} "
+        f"(sim {doc['result']['sim_time_us']:.0f}us, "
+        f"{len(doc['series'])} series, {len(doc['counters'])} counters, "
+        f"correct={doc['result']['correct']})"
+    )
+    return 0
+
+
+def cmd_diff(ns: argparse.Namespace) -> int:
+    """Compare two manifests (or trend-check a bench trajectory)."""
+    from repro.obs.diff import diff_manifests, diff_trajectory, format_report
+    from repro.obs.manifest import load_manifest
+
+    if ns.bench:
+        with open(ns.bench) as fh:
+            doc = json.load(fh)
+        threshold = ns.threshold if ns.threshold is not None else 0.25
+        regressed, msg = diff_trajectory(doc, threshold=threshold)
+        print(msg)
+        return 1 if (regressed and ns.check) else 0
+    if not ns.a or not ns.b:
+        raise SystemExit("diff needs two manifest paths (or --bench FILE)")
+    threshold = ns.threshold if ns.threshold is not None else 0.10
+    report = diff_manifests(
+        load_manifest(ns.a), load_manifest(ns.b), threshold=threshold
+    )
+    print(format_report(report, limit=ns.limit))
+    return 1 if (ns.check and report.regressed) else 0
 
 
 def cmd_top(ns: argparse.Namespace) -> int:
@@ -321,7 +411,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     _add_workload_args(p_export)
     p_export.add_argument("--input", help="saved span log instead of a run")
     p_export.add_argument("--out", help="output path (default dextrace.json)")
+    p_export.add_argument("--scope", action="store_true",
+                          help="sample with DexScope and merge the series "
+                          "as Perfetto counter tracks")
     p_export.set_defaults(fn=cmd_export)
+
+    p_manifest = sub.add_parser(
+        "manifest", help="run with DexScope+DexLens, write dex-run.json"
+    )
+    _add_workload_args(p_manifest)
+    p_manifest.add_argument("--out", help="manifest path (default dex-run.json)")
+    p_manifest.add_argument("--label", default="",
+                            help="label recorded in the manifest")
+    p_manifest.add_argument("--no-lens", dest="lens", action="store_false",
+                            help="skip the critical-path phase section")
+    p_manifest.set_defaults(fn=cmd_manifest, lens=True, scope=True)
+
+    p_diff = sub.add_parser(
+        "diff", help="compare two run manifests; --check for CI guarding"
+    )
+    p_diff.add_argument("a", nargs="?", help="baseline manifest")
+    p_diff.add_argument("b", nargs="?", help="candidate manifest")
+    p_diff.add_argument("--bench",
+                        help="trend-check a BENCH_*.json trajectory instead")
+    p_diff.add_argument("--threshold", type=float, default=None,
+                        help="relative regression threshold "
+                        "(default 0.10 for manifests, 0.25 for --bench)")
+    p_diff.add_argument("--limit", type=int, default=20,
+                        help="ranked delta rows shown (default 20)")
+    p_diff.add_argument("--check", action="store_true",
+                        help="exit nonzero when a headline metric regressed")
+    p_diff.set_defaults(fn=cmd_diff)
 
     p_top = sub.add_parser("top", help="live DexLens view (hot pages, "
                            "ping-pong pairs, critical-path p50/p99)")

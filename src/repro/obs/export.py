@@ -325,13 +325,23 @@ def _allocate_lanes(spans: Sequence[Span], index: Dict[int, Span]) -> Dict[int, 
     return lanes
 
 
-def chrome_trace(spans: Sequence[Span], *, dropped: int = 0) -> Dict[str, Any]:
+def chrome_trace(
+    spans: Sequence[Span],
+    *,
+    dropped: int = 0,
+    counters: Optional[Sequence[Dict[str, Any]]] = None,
+) -> Dict[str, Any]:
     """Build a Chrome trace-event JSON document (load at ui.perfetto.dev).
 
     One process track per node (pid = node id, ``tid`` lanes inside it: app
     threads on their tid rows, protocol/fabric service work on rows >= 1000),
     timestamps in simulated microseconds, and flow (s/f) arrows stitching
-    parent→child edges that cross nodes."""
+    parent→child edges that cross nodes.
+
+    *counters* appends pre-built counter-track events (``"ph": "C"`` plus
+    any metadata they need) after the slice events — the DexScope
+    utilization series render as Perfetto counter tracks alongside the
+    span timeline (see :meth:`repro.obs.scope.DexScope.counter_events`)."""
     index = span_index(spans)
     lanes = _allocate_lanes(spans, index)
     events: List[Dict[str, Any]] = []
@@ -376,15 +386,27 @@ def chrome_trace(spans: Sequence[Span], *, dropped: int = 0) -> Dict[str, Any]:
                 "pid": s.node, "tid": lane, "ts": s.start_us,
             })
 
+    other: Dict[str, Any] = {
+        "source": "repro.obs (DexTrace)", "spans_dropped": dropped,
+    }
+    if counters:
+        events.extend(counters)
+        other["counter_events"] = len(counters)
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {"source": "repro.obs (DexTrace)", "spans_dropped": dropped},
+        "otherData": other,
     }
 
 
-def write_chrome_trace(path: str, spans: Sequence[Span], *, dropped: int = 0) -> int:
-    doc = chrome_trace(spans, dropped=dropped)
+def write_chrome_trace(
+    path: str,
+    spans: Sequence[Span],
+    *,
+    dropped: int = 0,
+    counters: Optional[Sequence[Dict[str, Any]]] = None,
+) -> int:
+    doc = chrome_trace(spans, dropped=dropped, counters=counters)
     with open(path, "w") as fh:
         json.dump(doc, fh)
     return len(doc["traceEvents"])

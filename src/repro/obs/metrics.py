@@ -216,6 +216,79 @@ class Histogram(_LabeledMixin):
             seen += n
         return hist.max
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold *other*'s samples into this histogram, in place.
+
+        Requires identical bucket geometry (start/factor/bucket count).
+        Merging an empty operand is a no-op either way round: the empty
+        side's ``min=+inf`` / ``max=-inf`` sentinels lose every min/max
+        comparison, so they never leak into the merged extrema."""
+        if (
+            other.start != self.start
+            or other.factor != self.factor
+            or len(other.bounds) != len(self.bounds)
+        ):
+            raise ValueError(
+                f"cannot merge histogram {other.name!r} "
+                f"(start={other.start}, factor={other.factor}, "
+                f"nbuckets={len(other.bounds)}) into {self.name!r} "
+                f"(start={self.start}, factor={self.factor}, "
+                f"nbuckets={len(self.bounds)})"
+            )
+        src = other._merged()
+        for i, n in enumerate(src.counts):
+            self.counts[i] += n
+        self.count += src.count
+        self.sum += src.sum
+        if src.min < self.min:
+            self.min = src.min
+        if src.max > self.max:
+            self.max = src.max
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable state (labeled children folded in).
+
+        The empty histogram's ``min=+inf`` / ``max=-inf`` sentinels are
+        not JSON-representable; they serialize as ``None`` and
+        :meth:`from_dict` restores the sentinels, so an empty histogram
+        round-trips to one that still merges and ranks correctly."""
+        hist = self._merged()
+        return {
+            "name": self.name,
+            "start": self.start,
+            "factor": self.factor,
+            "nbuckets": len(self.bounds),
+            "counts": list(hist.counts),
+            "count": hist.count,
+            "sum": hist.sum,
+            "min": hist.min if hist.count else None,
+            "max": hist.max if hist.count else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Histogram":
+        """Inverse of :meth:`to_dict`; validates bucket geometry."""
+        nbuckets = int(data["nbuckets"])
+        hist = cls(
+            data.get("name", "histogram"),
+            start=data["start"],
+            factor=data["factor"],
+            nbuckets=nbuckets,
+        )
+        counts = list(data["counts"])
+        if len(counts) != nbuckets + 1:
+            raise ValueError(
+                f"histogram {hist.name!r}: expected {nbuckets + 1} bucket "
+                f"counts (nbuckets + overflow), got {len(counts)}"
+            )
+        hist.counts = [int(n) for n in counts]
+        hist.count = int(data["count"])
+        hist.sum = float(data["sum"])
+        hist.min = math.inf if data["min"] is None else float(data["min"])
+        hist.max = -math.inf if data["max"] is None else float(data["max"])
+        return hist
+
     def quantiles(self, *ps: float) -> Dict[str, float]:
         """Bucket-resolution quantile estimates for several points in one
         call (one merge), keyed ``"p50"``/``"p99"``/``"p999"``-style: the

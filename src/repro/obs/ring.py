@@ -1,5 +1,17 @@
-"""The crash flight recorder: fixed-size per-node rings of recent spans
-and protocol messages, dumped as a Perfetto-loadable snapshot on failure.
+"""Bounded history rings: the crash flight recorder and the DexScope
+time-series ring.
+
+:class:`SeriesRing` is the storage behind every DexScope utilization
+series (``repro.obs.scope``): a fixed-capacity list of ``(t, value)``
+points that *decimates* instead of truncating — when full, adjacent
+points merge pairwise and the accept stride doubles, so the same buffer
+always covers the whole run at the finest resolution that fits.  It is
+the slice-ring decay idea of the lens's :class:`SlidingWindow`, applied
+to an ever-growing run instead of a fixed window.
+
+The rest of this module is the crash flight recorder: fixed-size
+per-node rings of recent spans and protocol messages, dumped as a
+Perfetto-loadable snapshot on failure.
 
 The recorder is a tracer sink (see :meth:`repro.obs.tracing.Tracer.add_sink`):
 ``on_span_close`` appends each closed span to its node's ring and
@@ -36,9 +48,113 @@ from typing import Any, Dict, List, Tuple
 from repro.obs.export import chrome_trace
 from repro.obs.tracing import Span, Tracer
 
-__all__ = ["FlightRecorder", "load_snapshot"]
+__all__ = ["FlightRecorder", "SeriesRing", "load_snapshot"]
 
 SNAPSHOT_FORMAT = "dex-flightrec-v1"
+
+
+class SeriesRing:
+    """A bounded ``(t, value)`` time series with pairwise decay.
+
+    Points arrive on the sampler's grid.  ``stride`` raw points are
+    pre-aggregated into one stored point; when the store reaches
+    *capacity*, adjacent stored points merge pairwise and the stride
+    doubles.  Memory is therefore fixed while coverage is always the full
+    run, at resolution ``stride * base_interval``.
+
+    ``agg`` picks the aggregation: ``"mean"`` for level gauges (busy
+    fraction, queue depth), ``"max"`` for spikes, ``"sum"`` for per-
+    interval increments (rates), ``"last"`` for cumulative counters.
+    """
+
+    __slots__ = (
+        "capacity", "agg", "stride",
+        "_t", "_v", "_acc_t", "_acc_v", "_acc_n",
+    )
+
+    def __init__(self, capacity: int = 512, agg: str = "mean"):
+        if capacity < 4:
+            raise ValueError(f"series capacity must be >= 4, got {capacity}")
+        if agg not in ("mean", "max", "sum", "last"):
+            raise ValueError(f"unknown aggregation {agg!r}")
+        self.capacity = capacity
+        self.agg = agg
+        #: raw samples folded into each stored point (doubles on overflow)
+        self.stride = 1
+        self._t: List[float] = []
+        self._v: List[float] = []
+        self._acc_t = 0.0
+        self._acc_v = 0.0
+        self._acc_n = 0
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    def push(self, t: float, value: float) -> None:
+        if self._acc_n == 0:
+            self._acc_t = t
+            self._acc_v = value
+        elif self.agg == "max":
+            if value > self._acc_v:
+                self._acc_v = value
+        elif self.agg == "last":
+            self._acc_v = value
+        else:  # mean and sum both accumulate; mean divides on store
+            self._acc_v += value
+        self._acc_n += 1
+        if self._acc_n >= self.stride:
+            value = (
+                self._acc_v / self._acc_n if self.agg == "mean" else self._acc_v
+            )
+            self._t.append(self._acc_t)
+            self._v.append(value)
+            self._acc_n = 0
+            if len(self._t) >= self.capacity:
+                self._decimate()
+
+    def _combine(self, a: float, b: float) -> float:
+        if self.agg == "mean":
+            return (a + b) / 2.0
+        if self.agg == "max":
+            return a if a > b else b
+        if self.agg == "sum":
+            return a + b
+        return b  # last
+
+    def _decimate(self) -> None:
+        t, v = self._t, self._v
+        half_t: List[float] = []
+        half_v: List[float] = []
+        i, n = 0, len(t)
+        while i + 1 < n:
+            half_t.append(t[i])
+            half_v.append(self._combine(v[i], v[i + 1]))
+            i += 2
+        if i < n:  # odd tail point survives unmerged
+            half_t.append(t[i])
+            half_v.append(v[i])
+        self._t, self._v = half_t, half_v
+        self.stride *= 2
+
+    def points(self) -> List[Tuple[float, float]]:
+        """Stored points, oldest first (the partial accumulator included
+        so the series never lags the last firing)."""
+        out = list(zip(self._t, self._v))
+        if self._acc_n:
+            value = (
+                self._acc_v / self._acc_n if self.agg == "mean" else self._acc_v
+            )
+            out.append((self._acc_t, value))
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        pts = self.points()
+        return {
+            "agg": self.agg,
+            "stride": self.stride,
+            "t": [round(t, 3) for t, _ in pts],
+            "v": [round(v, 6) for _, v in pts],
+        }
 
 
 class FlightRecorder:

@@ -1,0 +1,292 @@
+"""DexScope: deterministic sim-time utilization sampling.
+
+The scope is the time-series telemetry layer: where DexTrace answers
+"what happened on this request" and DexLens "what is hot right now",
+the scope answers "how loaded was each part of the rack *over time*" —
+the signal the adaptation recipe of §IV (and the planned online
+balancer / DexServe SLO reporting) needs.
+
+A :class:`DexScope` registers one sampler on the engine's sampling grid
+(:meth:`repro.sim.engine.Engine.add_sampler`): every
+``scope_interval_us`` of simulated time it reads
+
+* per-node CPU busy fraction and run-queue depth (the cores
+  :class:`~repro.sim.resources.Resource`), and live thread residency
+  (:func:`repro.core.thread.threads_by_node`);
+* per-NIC transmit utilization and per-link occupancy / mean queueing
+  delay (fed by :meth:`note_wire` from the fabric's wire path);
+* per-shard directory request rates
+  (:meth:`repro.core.directory.CoherenceDirectory.requests_by_home`);
+* retry/chaos in-flight request counts
+  (:func:`repro.net.retry.inflight_requests`) and retransmissions;
+* the engine's own queue length and scheduling rate; and
+* a snapshot of every process :class:`MetricsRegistry` counter.
+
+Samples land in bounded :class:`~repro.obs.ring.SeriesRing` time series
+(fixed memory, pairwise decay) and in a scope-owned
+:class:`MetricsRegistry` of gauge families — the registry is the
+single registration path the ``metric-discipline`` vet rule enforces.
+
+Everything here is **read-only** over the model: the sampler fires
+between dispatches, schedules nothing, and draws no randomness, so a
+sampled run is bit-identical to an unsampled one (asserted by
+``tests/test_obs_scope.py``).  When the scope is off
+(``SimParams.scope=""`` / ``DEX_SCOPE`` unset) no object exists: the
+engine compares one float against ``+inf`` per dispatch and the fabric
+guards on ``net.scope is None``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.ring import SeriesRing
+
+__all__ = ["DexScope", "recent_scopes", "reset_recent"]
+
+#: synthetic Perfetto process id for series not owned by a single node
+CLUSTER_PID = 9999
+
+#: offline CLI bookkeeping, mirrors tracing._RECENT / lens._RECENT: apps
+#: build their clusters internally, so the CLI recovers the scope here
+_RECENT: List["DexScope"] = []
+
+
+def reset_recent() -> None:
+    _RECENT.clear()
+
+
+def recent_scopes() -> List["DexScope"]:
+    return list(_RECENT)
+
+
+class DexScope:
+    """Periodic utilization sampler for one cluster (see module doc)."""
+
+    def __init__(self, cluster: Any):
+        params = cluster.params
+        self.cluster = cluster
+        self.interval_us = float(params.scope_interval_us)
+        self.capacity = int(params.scope_series_points)
+        self.max_series = int(params.scope_max_series)
+        self.samples = 0
+        #: series not created because the key cap was hit (never silent)
+        self.series_dropped = 0
+        self.series: Dict[str, SeriesRing] = {}
+        self._series_pid: Dict[str, int] = {}
+        #: cumulative readings at the previous sample, for rate deltas
+        self._last: Dict[str, float] = {}
+        self._last_t = 0.0
+        #: per-link [msgs, measured wire us, ideal serialization us]
+        #: accumulated by the fabric between samples (see note_wire)
+        self._wire_wait: Dict[Tuple[int, int], List[float]] = {}
+        self._link_bw = float(params.link_bandwidth)
+
+        reg = self.registry = MetricsRegistry()
+        self.node_busy = reg.gauge(
+            "node_busy_frac", "CPU cores in use / capacity, per node",
+            labelnames=("node",))
+        self.node_runq = reg.gauge(
+            "node_runq_depth", "threads queued for a core, per node",
+            labelnames=("node",))
+        self.node_threads = reg.gauge(
+            "node_threads", "live app threads resident, per node",
+            labelnames=("node",))
+        self.nic_tx_util = reg.gauge(
+            "nic_tx_util", "transmit bandwidth utilization, per NIC",
+            labelnames=("node",))
+        self.link_occupancy = reg.gauge(
+            "link_occupancy", "wire-bytes rate / bandwidth, per link",
+            labelnames=("link",))
+        self.link_queue = reg.gauge(
+            "link_queue_us",
+            "mean per-message wire queueing delay beyond serialization",
+            labelnames=("link",))
+        self.dir_rate = reg.gauge(
+            "directory_request_rate",
+            "ownership requests served per ms, by hosting shard",
+            labelnames=("home",))
+        self.retry_inflight = reg.gauge(
+            "retry_inflight", "reliable requests awaiting a reply")
+        self.engine_queue = reg.gauge(
+            "engine_queue_len", "pending entries in the event queue")
+
+        cluster.engine.add_sampler(self.on_sample, self.interval_us)
+        cluster.net.scope = self
+        _RECENT.append(self)
+
+    # -- fabric feed --------------------------------------------------------
+
+    def note_wire(self, conn: Any, wire_bytes: int, wait_us: float) -> None:
+        """Called by the fabric (scope on only) after a message serialized
+        onto its link: *wait_us* is the measured fair-share service time;
+        the ideal (uncontended) serialization time is accumulated alongside
+        so the sampler can report the queueing excess."""
+        acc = self._wire_wait.get((conn.src, conn.dst))
+        if acc is None:
+            acc = self._wire_wait[(conn.src, conn.dst)] = [0.0, 0.0, 0.0]
+        acc[0] += 1.0
+        acc[1] += wait_us
+        acc[2] += wire_bytes / self._link_bw
+
+    # -- the sampler ---------------------------------------------------------
+
+    def _push(self, key: str, t: float, value: float, agg: str,
+              pid: int = CLUSTER_PID) -> None:
+        ring = self.series.get(key)
+        if ring is None:
+            if len(self.series) >= self.max_series:
+                self.series_dropped += 1
+                return
+            ring = self.series[key] = SeriesRing(self.capacity, agg=agg)
+            self._series_pid[key] = pid
+        ring.push(t, value)
+
+    def on_sample(self, t: float) -> None:
+        """One grid firing (engine sampler hook).  Strictly read-only."""
+        cluster = self.cluster
+        push = self._push
+        last = self._last
+        dt = t - self._last_t if self.samples else self.interval_us
+        if dt <= 0.0:
+            dt = self.interval_us
+        self._last_t = t
+        self.samples += 1
+
+        # per-node cores: busy fraction + run-queue depth
+        for node in cluster.nodes:
+            n = node.node_id
+            cores = node.cores
+            busy = cores.in_use / cores.capacity
+            runq = float(cores.queued)
+            self.node_busy.labels(node=n).set(busy)
+            self.node_runq.labels(node=n).set(runq)
+            push(f"node{n}.busy_frac", t, busy, "mean", n)
+            push(f"node{n}.runq", t, runq, "mean", n)
+
+        # live thread residency (compute-follows-data placement signal)
+        from repro.core.thread import threads_by_node
+
+        residency: Dict[int, int] = {}
+        for proc in cluster.processes.values():
+            for n, count in threads_by_node(proc).items():
+                residency[n] = residency.get(n, 0) + count
+        for n, count in residency.items():
+            self.node_threads.labels(node=n).set(count)
+            push(f"node{n}.threads", t, float(count), "mean", n)
+
+        # per-NIC transmit utilization (served-bytes delta over capacity)
+        for nic in cluster.net.nics:
+            served = nic.tx.total_served
+            key = f"nic{nic.node_id}.tx_util"
+            if served or key in self.series:
+                util = (served - last.get(key, 0.0)) / (nic.tx.capacity * dt)
+                last[key] = served
+                self.nic_tx_util.labels(node=nic.node_id).set(util)
+                push(key, t, util, "mean", nic.node_id)
+
+        # per-link occupancy (bytes-on-wire delta over capacity)
+        for (src, dst), conn in cluster.net.connections.items():
+            key = f"link{src}->{dst}.occupancy"
+            if conn.bytes_on_wire or key in self.series:
+                occ = (conn.bytes_on_wire - last.get(key, 0.0)) / (
+                    self._link_bw * dt)
+                last[key] = conn.bytes_on_wire
+                self.link_occupancy.labels(link=f"{src}->{dst}").set(occ)
+                push(key, t, occ, "mean", src)
+
+        # per-link queueing delay (measured wire wait minus ideal
+        # serialization, per message, over the elapsed interval)
+        for (src, dst), acc in self._wire_wait.items():
+            msgs, wait_us, ideal_us = acc
+            if msgs:
+                excess = max(wait_us - ideal_us, 0.0) / msgs
+                acc[0] = acc[1] = acc[2] = 0.0
+            else:
+                excess = 0.0
+            self.link_queue.labels(link=f"{src}->{dst}").set(excess)
+            push(f"link{src}->{dst}.queue_us", t, excess, "mean", src)
+
+        # per-shard directory request rate
+        for proc in cluster.processes.values():
+            for home, served in (
+                proc.protocol.directory.requests_by_home().items()
+            ):
+                key = f"dir.home{home}.req_per_ms"
+                rate = (served - last.get(key, 0.0)) * 1000.0 / dt
+                last[key] = served
+                self.dir_rate.labels(home=home).set(rate)
+                push(key, t, rate, "mean", home)
+
+        # retry/chaos in-flight accounting
+        chaos = cluster.chaos
+        if chaos is not None:
+            from repro.net.retry import inflight_requests
+
+            inflight = float(inflight_requests(chaos))
+            self.retry_inflight.set(inflight)
+            push("retry.inflight", t, inflight, "mean")
+            retx = chaos.retransmissions.value
+            if retx or "chaos.retransmits" in self.series:
+                push("chaos.retransmits", t, float(retx), "last")
+
+        # engine health: queue length + scheduling rate
+        engine = cluster.engine
+        depth = float(len(engine._queue) + len(engine._fastlane))
+        self.engine_queue.set(depth)
+        push("engine.queue_len", t, depth, "mean")
+        seq = float(engine._seq)
+        push("engine.sched_per_us", t, (seq - last.get("seq", 0.0)) / dt,
+             "mean")
+        last["seq"] = seq
+
+        # MetricsRegistry snapshot: every nonzero process counter, as a
+        # cumulative series (agg="last" keeps the latest total per point)
+        totals: Dict[str, float] = {}
+        for proc in cluster.processes.values():
+            reg = proc.stats.registry
+            for name in reg.names():
+                metric = reg.get(name)
+                if metric.kind == "counter":
+                    totals[name] = totals.get(name, 0.0) + metric.total()
+        for name, value in totals.items():
+            if value or f"stats.{name}" in self.series:
+                push(f"stats.{name}", t, float(value), "last")
+        faults = totals.get("faults_read", 0.0) + totals.get(
+            "faults_write", 0.0)
+        push("faults.per_ms", t,
+             (faults - last.get("faults", 0.0)) * 1000.0 / dt, "mean")
+        last["faults"] = faults
+
+    # -- export ---------------------------------------------------------------
+
+    def series_dict(self) -> Dict[str, Dict[str, Any]]:
+        """Every series as plain JSON data (the manifest's ``series``
+        section), keyed by series name, with the grid interval attached."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for key in sorted(self.series):
+            doc = self.series[key].to_dict()
+            doc["interval_us"] = self.interval_us
+            out[key] = doc
+        return out
+
+    def counter_events(self) -> List[Dict[str, Any]]:
+        """Perfetto counter-track events (``"ph": "C"``), one track per
+        series: per-node series attach to that node's process track, the
+        rest to a synthetic ``cluster (DexScope)`` track.  Merge into a
+        Chrome trace document via ``chrome_trace(spans, counters=...)``."""
+        events: List[Dict[str, Any]] = []
+        if any(pid == CLUSTER_PID for pid in self._series_pid.values()):
+            events.append({
+                "name": "process_name", "ph": "M", "pid": CLUSTER_PID,
+                "tid": 0, "args": {"name": "cluster (DexScope)"},
+            })
+        for key in sorted(self.series):
+            pid = self._series_pid[key]
+            for ts, value in self.series[key].points():
+                events.append({
+                    "name": key, "ph": "C", "pid": pid, "ts": ts,
+                    "args": {"value": value},
+                })
+        return events

@@ -205,6 +205,20 @@ class SimParams:
     #: None means the default ./dex-flightrec.json)
     lens_dump_path: Optional[str] = None
 
+    # ---- time-series telemetry (see repro.obs.scope — DexScope) -----------
+    #: periodic utilization sampling: "" off, "1"/"on" on.  None defers to
+    #: the DEX_SCOPE environment variable.  When off no sampler exists and
+    #: the engine's only obligation is one float compare against +inf per
+    #: dispatch; instrumented fabric paths guard on `net.scope is None`
+    scope: Optional[str] = None
+    #: sim-time between utilization samples (the grid the sampler fires on)
+    scope_interval_us: float = 500.0
+    #: stored points per time series; on overflow adjacent points merge and
+    #: the accept stride doubles, so a fixed buffer covers the whole run
+    scope_series_points: int = 512
+    #: hard cap on distinct series keys (per-link series scale O(nodes^2))
+    scope_max_series: int = 4096
+
     # ---- feature switches (for ablations) ---------------------------------
     #: leader-follower coalescing of concurrent same-page faults (§III-C)
     enable_fault_coalescing: bool = True

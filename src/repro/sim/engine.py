@@ -434,6 +434,9 @@ class Engine:
         "_hooks_finished",
         "_hooks_pool_stall",
         "_hooks_pool_resume",
+        "_hooks_sample",
+        "_sample_interval",
+        "_next_sample",
         "current_process",
         "tracer",
         "_fastlane_on",
@@ -471,6 +474,12 @@ class Engine:
         self._hooks_finished: List[Callable] = []
         self._hooks_pool_stall: List[Callable] = []
         self._hooks_pool_resume: List[Callable] = []
+        #: periodic sim-time samplers (see :meth:`add_sampler`); with none
+        #: registered the deadline stays +inf and the run loop's only
+        #: obligation is one float compare per dispatch
+        self._hooks_sample: List[Callable] = []
+        self._sample_interval = 0.0
+        self._next_sample = _INF
         #: the Process whose generator is currently executing (None between
         #: steps); the repro.obs tracer keys span stacks by this
         self.current_process: Optional[Any] = None
@@ -518,6 +527,41 @@ class Engine:
             method = getattr(hook, attr, None)
             if method is not None:
                 bucket.append(method)
+
+    def add_sampler(self, fire: Callable[[float], None], interval_us: float) -> None:
+        """Register a periodic sim-time sampler (the DexScope hook).
+
+        *fire(deadline)* runs **between** dispatches, at the first dispatch
+        whose timestamp reaches each grid deadline ``k * interval_us`` — a
+        deterministic function of the event stream.  Samplers never
+        schedule events, consume sequence numbers, or advance the clock, so
+        a sampled run is bit-identical to an unsampled one.  Idle gaps
+        produce one firing, not a catch-up storm: after firing, the grid
+        jumps past the current instant."""
+        if interval_us <= 0:
+            raise SimulationError(
+                f"sampler interval must be positive: {interval_us}"
+            )
+        if self._hooks_sample and interval_us != self._sample_interval:
+            raise SimulationError("all samplers share one grid interval")
+        self._sample_interval = float(interval_us)
+        if self._next_sample == _INF:
+            self._next_sample = self.now + self._sample_interval
+        self._hooks_sample.append(fire)
+
+    def _fire_samplers(self, when: float) -> float:
+        """Fire every sampler at the pending grid deadline, then advance
+        the grid past *when*; returns the new deadline."""
+        deadline = self._next_sample
+        for fire in self._hooks_sample:
+            fire(deadline)
+        interval = self._sample_interval
+        periods = int((when - deadline) / interval) + 1
+        nxt = deadline + periods * interval
+        while nxt <= when:  # float rounding can land short of `when`
+            nxt += interval
+        self._next_sample = nxt
+        return nxt
 
     # -- scheduling primitives ------------------------------------------
 
@@ -618,6 +662,7 @@ class Engine:
         fastlane = self._fastlane
         heappop = heapq.heappop
         limit = _INF if until is None else until
+        next_sample = self._next_sample
         try:
             while True:
                 # merge the fast lane and the heap by comparing heads;
@@ -658,6 +703,8 @@ class Engine:
                 else:
                     fastlane.popleft()
                 self.now = when
+                if when >= next_sample:
+                    next_sample = self._fire_samplers(when)
                 fn(*args)
                 dispatched += 1
                 if dispatched >= max_events:

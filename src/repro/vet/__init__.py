@@ -27,7 +27,7 @@ from repro.vet.rules import REGISTRY, VetContext, Violation, run_rules
 from repro.vet import legacy as _legacy  # registers the seven ported rules
 from repro.vet.legacy import LEGACY_RULES
 
-#: the seven whole-program rules that need the shared graph/effect passes
+#: the whole-program rules that need the shared graph/effect passes
 GRAPH_RULES = (
     "handler-totality",
     "orphan-message-type",
@@ -36,6 +36,7 @@ GRAPH_RULES = (
     "inject-coverage",
     "chaos-reachability",
     "lens-sink-discipline",
+    "metric-discipline",
 )
 
 #: every selectable rule, in report order

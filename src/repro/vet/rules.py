@@ -457,3 +457,104 @@ def _check_lens_sink_discipline(ctx: VetContext) -> List[Violation]:
                             ),
                         ))
     return violations
+
+
+# -- metric-discipline ---------------------------------------------------------
+
+#: the typed metric constructors of repro.obs.metrics; outside the obs
+#: layer they must be reached through MetricsRegistry registration
+_METRIC_CTORS = frozenset({"Counter", "Gauge", "Histogram"})
+_METRIC_MODULES = frozenset({"repro.obs.metrics", "repro.obs"})
+#: attribute names that smell like a hand-rolled metrics store
+_STAT_DICT_NAMES = ("stats", "metrics", "counters")
+
+
+def _is_stat_dict_name(attr: str) -> bool:
+    return attr in _STAT_DICT_NAMES or any(
+        attr.endswith("_" + name) for name in _STAT_DICT_NAMES
+    )
+
+
+@rule("metric-discipline")
+def _check_metric_discipline(ctx: VetContext) -> List[Violation]:
+    """Metrics go through a MetricsRegistry, nowhere else.
+
+    Outside the obs layer, (a) constructing ``Counter``/``Gauge``/
+    ``Histogram`` directly bypasses the registry's single registration,
+    snapshot, and report path (and its kind-collision check); (b) a
+    ``self.stats = {}``-style ad-hoc dict in place of registry families
+    dodges the typed metrics entirely — per-key bounds, label handling,
+    and the manifest/diff export all miss it.  Import-aware: only names
+    actually imported from ``repro.obs.metrics`` count, so
+    ``collections.Counter`` users stay clean."""
+    violations: List[Violation] = []
+    for scan in ctx.scans:
+        if "obs" in scan.module.parts:
+            continue  # the metrics layer itself wires its own internals
+        metric_aliases: Dict[str, str] = {}
+        module_aliases: Set[str] = set()
+        for node in ast.walk(scan.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module in _METRIC_MODULES:
+                    for alias in node.names:
+                        if alias.name in _METRIC_CTORS:
+                            metric_aliases[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in _METRIC_MODULES and alias.asname:
+                        module_aliases.add(alias.asname)
+        for node in ast.walk(scan.tree):
+            if isinstance(node, ast.Call):
+                ctor: Optional[str] = None
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in metric_aliases
+                ):
+                    ctor = metric_aliases[node.func.id]
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _METRIC_CTORS
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in module_aliases
+                ):
+                    ctor = node.func.attr
+                if ctor is not None:
+                    violations.append(Violation(
+                        rule="metric-discipline",
+                        path=str(scan.path),
+                        line=node.lineno,
+                        message=(
+                            f"direct {ctor}(...) construction outside the "
+                            f"obs layer — register through a "
+                            f"MetricsRegistry family "
+                            f"(registry.{ctor.lower()}(name, ...)) so the "
+                            f"metric shares the snapshot/report path"
+                        ),
+                    ))
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                value = node.value
+                if not isinstance(value, ast.Dict):
+                    continue
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and _is_stat_dict_name(target.attr)
+                    ):
+                        violations.append(Violation(
+                            rule="metric-discipline",
+                            path=str(scan.path),
+                            line=node.lineno,
+                            message=(
+                                f"ad-hoc stat dict 'self.{target.attr}' — "
+                                f"use MetricsRegistry counter/gauge "
+                                f"families instead of a hand-rolled dict "
+                                f"(typed, bounded, exported by manifests)"
+                            ),
+                        ))
+    return violations

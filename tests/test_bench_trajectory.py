@@ -1,0 +1,67 @@
+"""The bench document's append-only trajectory: ``update_bench_doc`` is
+pure, so the append/cap/replace behaviour is tested without running a
+single benchmark."""
+
+from repro.bench.perf import TRAJECTORY_CAP, update_bench_doc
+from repro.obs.diff import diff_trajectory
+
+
+def _points(rate):
+    return {"dispatch_storm": {"wall_s": 1.0, "events_per_sec": rate}}
+
+
+def test_fresh_document_shape():
+    doc = update_bench_doc(None, "quick", _points(1000.0), 0.0)
+    assert doc["schema"] == 1 and doc["mode"] == "quick"
+    assert doc["points"] == _points(1000.0)
+    assert len(doc["trajectory"]) == 1
+    entry = doc["trajectory"][0]
+    assert entry["ts"] == 0.0
+    assert entry["date"] == "1970-01-01 00:00:00Z"  # UTC, stable
+    assert entry["mode"] == "quick"
+    assert entry["points"] == _points(1000.0)
+
+
+def test_appends_without_overwriting_history():
+    doc = update_bench_doc(None, "quick", _points(1000.0), 0.0)
+    doc = update_bench_doc(doc, "full", _points(2000.0), 60.0)
+    assert len(doc["trajectory"]) == 2
+    # the top-level point set is the newest run (existing consumers),
+    # the history keeps both
+    assert doc["mode"] == "full" and doc["points"] == _points(2000.0)
+    assert doc["trajectory"][0]["points"] == _points(1000.0)
+    assert doc["trajectory"][1]["mode"] == "full"
+
+
+def test_extra_keys_survive():
+    existing = {
+        "reference": {"pre_refactor": {"x": 1}},
+        "quick_points": {"q": {"wall_s": 0.5}},
+        "trajectory": [{"ts": 0.0, "mode": "quick", "points": _points(1.0)}],
+    }
+    doc = update_bench_doc(existing, "quick", _points(2.0), 5.0)
+    assert doc["reference"] == existing["reference"]
+    assert doc["quick_points"] == existing["quick_points"]
+    assert len(doc["trajectory"]) == 2
+    # pure: the input document was not mutated
+    assert len(existing["trajectory"]) == 1
+
+
+def test_trajectory_capped_oldest_dropped():
+    doc = None
+    for i in range(TRAJECTORY_CAP + 5):
+        doc = update_bench_doc(doc, "quick", _points(float(i)), float(i))
+    assert len(doc["trajectory"]) == TRAJECTORY_CAP
+    assert doc["trajectory"][0]["ts"] == 5.0  # the 5 oldest fell off
+    assert doc["trajectory"][-1]["ts"] == float(TRAJECTORY_CAP + 4)
+
+
+def test_trajectory_feeds_the_trend_guard():
+    """End-to-end through the pure layer: perf appends, obs diff reads."""
+    doc = update_bench_doc(None, "quick", _points(1000.0), 0.0)
+    doc = update_bench_doc(doc, "quick", _points(950.0), 1.0)
+    regressed, msg = diff_trajectory(doc, threshold=0.25)
+    assert not regressed and "dispatch_storm" in msg
+    doc = update_bench_doc(doc, "quick", _points(200.0), 2.0)
+    regressed, _ = diff_trajectory(doc, threshold=0.25)
+    assert regressed

@@ -1,5 +1,7 @@
 """The metrics registry and the DexStats facade over it."""
 
+import math
+
 import pytest
 
 from repro.core.stats import DexStats, FaultRecord
@@ -230,3 +232,108 @@ def test_stats_hint_hit_rate():
     s.hint_hits += 3
     s.hint_misses += 1
     assert s.hint_hit_rate == pytest.approx(0.75)
+
+
+# -- serialization round-trip (the manifest's histogram sections) --------------
+
+
+def test_histogram_round_trip_preserves_quantiles():
+    h = Histogram("lat", start=0.5, factor=2.0, nbuckets=16)
+    for v in (0.1, 1.0, 3.0, 7.5, 40.0, 900.0):
+        h.observe(v)
+    back = Histogram.from_dict(h.to_dict())
+    assert back.counts == h.counts
+    assert back.count == h.count and back.sum == h.sum
+    assert back.min == h.min and back.max == h.max
+    assert back.quantiles(50, 90, 99, 99.9) == h.quantiles(50, 90, 99, 99.9)
+    # the restored histogram keeps observing on the same geometry
+    back.observe(2.0)
+    assert back.count == h.count + 1
+
+
+def test_histogram_round_trip_folds_labeled_children():
+    h = Histogram("modes", labelnames=("mode",))
+    h.labels(mode="read").observe(1.0)
+    h.labels(mode="write").observe(50.0)
+    doc = h.to_dict()
+    assert doc["count"] == 2 and doc["min"] == 1.0 and doc["max"] == 50.0
+    back = Histogram.from_dict(doc)
+    assert back.count == 2 and back.percentile(100) == 50.0
+
+
+def test_empty_histogram_round_trips():
+    """The edge case the manifest hit: min/max sentinels aren't JSON."""
+    doc = Histogram("empty").to_dict()
+    assert doc["min"] is None and doc["max"] is None
+    assert doc["count"] == 0
+    back = Histogram.from_dict(doc)
+    assert back.count == 0
+    assert back.min == math.inf and back.max == -math.inf
+    assert back.percentile(99) == 0.0
+    # ...and still observes/merges correctly afterwards
+    back.observe(4.0)
+    assert back.min == back.max == 4.0
+
+
+def test_single_bucket_histogram_round_trips():
+    h = Histogram("one", start=10.0, nbuckets=1)
+    h.observe(5.0)    # bucket 0
+    h.observe(100.0)  # the overflow bucket
+    assert h.counts == [1, 1]
+    back = Histogram.from_dict(h.to_dict())
+    assert back.counts == [1, 1]
+    assert back.percentile(100) == 100.0
+    assert back.quantiles(50)["p50"] <= 100.0
+
+
+def test_from_dict_validates_bucket_counts():
+    doc = Histogram("lat", nbuckets=8).to_dict()
+    doc["counts"] = doc["counts"][:-1]  # truncated artifact
+    with pytest.raises(ValueError, match="bucket"):
+        Histogram.from_dict(doc)
+
+
+# -- merge ---------------------------------------------------------------------
+
+
+def test_merge_accumulates_in_place():
+    a = Histogram("lat")
+    b = Histogram("lat")
+    a.observe(1.0)
+    b.observe(10.0)
+    b.observe(2.0)
+    assert a.merge(b) is a
+    assert a.count == 3 and a.sum == 13.0
+    assert a.min == 1.0 and a.max == 10.0
+    assert b.count == 2  # the operand is untouched
+
+
+def test_merge_empty_operand_is_noop_both_ways():
+    full = Histogram("lat")
+    full.observe(3.0)
+    empty = Histogram("lat")
+    full.merge(empty)
+    assert full.count == 1 and full.min == 3.0 and full.max == 3.0
+    empty2 = Histogram("lat")
+    empty2.merge(full)
+    assert empty2.min == 3.0 and empty2.max == 3.0  # no inf leakage
+
+
+def test_merge_folds_operand_children():
+    family = Histogram("modes", labelnames=("mode",))
+    family.labels(mode="read").observe(1.0)
+    family.labels(mode="write").observe(9.0)
+    target = Histogram("modes")
+    target.merge(family)
+    assert target.count == 2 and target.max == 9.0
+
+
+def test_merge_rejects_geometry_mismatch():
+    a = Histogram("a", start=0.25, nbuckets=64)
+    for other in (
+        Histogram("b", start=0.5, nbuckets=64),
+        Histogram("c", start=0.25, factor=2.0, nbuckets=64),
+        Histogram("d", start=0.25, nbuckets=32),
+    ):
+        with pytest.raises(ValueError, match="cannot merge"):
+            a.merge(other)

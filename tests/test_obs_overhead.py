@@ -3,8 +3,10 @@
 1. structurally — with ``DEX_TRACE`` unset no tracer object exists, hot
    paths see ``proc.obs is None``, the engine runs with empty hooks, and
    messages carry no trace context; the same single-attribute shape holds
-   for the chaos (``cluster.chaos is None``) and check
-   (``proc.sanitizer``/``proc.deadlocks is None``) layers;
+   for the chaos (``cluster.chaos is None``), check
+   (``proc.sanitizer``/``proc.deadlocks is None``), and scope
+   (``cluster.scope``/``net.scope is None``, no sampler registered)
+   layers;
 2. semantically — tracing on/off yields bit-identical simulated time and
    fault counts (instrumentation must never perturb the model);
 3. a microbound — the entire per-fault off-mode cost of all three
@@ -30,12 +32,13 @@ from repro.runtime import MemoryAllocator
 GUARDS_PER_FAULT = 64
 
 
-def _run_workload(trace, lens=""):
-    """A contended 2-node ping-pong; sanitize and lens off explicitly so
-    the check matrix's DEX_SANITIZE=1 / DEX_LENS=1 cannot add hooks of
-    their own."""
+def _run_workload(trace, lens="", scope=""):
+    """A contended 2-node ping-pong; sanitize, lens, and scope off
+    explicitly so the check matrix's DEX_SANITIZE=1 / DEX_LENS=1 /
+    DEX_SCOPE=1 cannot add hooks of their own."""
     cluster = DexCluster(
-        num_nodes=2, params=SimParams(trace=trace, sanitize="", lens=lens))
+        num_nodes=2,
+        params=SimParams(trace=trace, sanitize="", lens=lens, scope=scope))
     proc = cluster.create_process()
     alloc = MemoryAllocator(proc)
     var = alloc.alloc_global(8, tag="hot")
@@ -64,6 +67,12 @@ def test_off_mode_is_structurally_zero_cost(monkeypatch):
     assert cluster.engine.tracer is None
     assert proc.obs is None
     assert cluster.engine.hooks == []  # nothing on the per-step hot path
+    # scope off: no sampler registered, the run loop compares one float
+    # against +inf per dispatch, and the fabric never times the wire
+    assert cluster.scope is None
+    assert cluster.net.scope is None
+    assert cluster.engine._hooks_sample == []
+    assert cluster.engine._next_sample == float("inf")
     # messages default to carrying no trace context
     msg = Message(MsgType.PAGE_REQUEST, src=0, dst=1)
     assert msg.trace_id is None and msg.parent_span is None
@@ -101,6 +110,23 @@ def test_trace_knob_resolution(monkeypatch):
         DexCluster(num_nodes=2, params=SimParams(trace="bogus"))
 
 
+def test_scope_knob_resolution(monkeypatch):
+    monkeypatch.delenv("DEX_TRACE", raising=False)
+    monkeypatch.delenv("DEX_LENS", raising=False)
+    monkeypatch.delenv("DEX_SCOPE", raising=False)
+    assert DexCluster(num_nodes=2, params=SimParams(scope="")).scope is None
+    cluster = DexCluster(num_nodes=2, params=SimParams(scope="1"))
+    assert cluster.scope is not None
+    assert cluster.net.scope is cluster.scope  # the fabric's wire guard
+    assert len(cluster.engine._hooks_sample) == 1
+    monkeypatch.setenv("DEX_SCOPE", "1")
+    assert DexCluster(num_nodes=2).scope is not None
+    monkeypatch.setenv("DEX_SCOPE", "0")
+    assert DexCluster(num_nodes=2).scope is None
+    with pytest.raises(ValueError):
+        DexCluster(num_nodes=2, params=SimParams(scope="bogus"))
+
+
 def test_tracing_does_not_perturb_the_simulation():
     off_cluster, off_proc = _run_workload(trace="")
     on_cluster, on_proc = _run_workload(trace="1")
@@ -133,6 +159,7 @@ def test_off_mode_guard_cost_within_three_percent(monkeypatch):
         lambda: proc.sanitizer is None,
         lambda: proc.deadlocks is None,
         lambda: cluster.chaos is None,
+        lambda: cluster.net.scope is None,
     )
     guard_cost = sum(
         min(timeit.repeat(guard, number=n, repeat=5)) / n for guard in guards
@@ -142,3 +169,54 @@ def test_off_mode_guard_cost_within_three_percent(monkeypatch):
         f"per fault, over 3% of the {per_fault_wall * 1e6:.1f}us per-fault "
         f"wall time"
     )
+
+
+def test_scope_sampling_cost_within_three_percent(monkeypatch):
+    """The DexScope acceptance bound: with DEX_SCOPE=1 the hot loop pays
+    one float compare per dispatch plus one read-only sweep per grid
+    interval.  Measured as a microbound (like the off-mode guard test):
+    real primitives on a real sampled cluster, amortized over the
+    dispatches each firing covers, against the unsampled run's measured
+    per-dispatch wall time."""
+    from repro.bench.runner import run_point
+    from repro.obs import scope as scope_mod
+
+    workload = {"n_points": 10_000, "max_iters": 2}
+    wall = min(
+        _timed(lambda: run_point(
+            "KMN", "initial", 4, params=SimParams(scope=""), **workload
+        ))
+        for _ in range(2)
+    )
+    scope_mod.reset_recent()
+    run_point("KMN", "initial", 4, params=SimParams(scope="1"), **workload)
+    (scope,) = scope_mod.recent_scopes()
+    engine = scope.cluster.engine
+    assert scope.samples > 1
+    # determinism (test_obs_scope) guarantees both runs dispatched the
+    # same event stream, so the sampled run's counts price the off run
+    dispatched = engine.events_dispatched
+    per_dispatch_wall = wall / dispatched
+    dispatches_per_sample = dispatched / scope.samples
+
+    n = 20_000
+    compare_cost = min(timeit.repeat(
+        lambda: engine.now >= engine._next_sample, number=n, repeat=5
+    )) / n
+    t = engine.now
+    sweep_cost = min(timeit.repeat(
+        lambda: scope.on_sample(t), number=200, repeat=3
+    )) / 200
+    overhead = compare_cost + sweep_cost / dispatches_per_sample
+    assert overhead <= 0.03 * per_dispatch_wall, (
+        f"DEX_SCOPE=1 costs {overhead * 1e9:.0f}ns per dispatch "
+        f"({compare_cost * 1e9:.0f}ns compare + {sweep_cost * 1e6:.1f}us "
+        f"sweep / {dispatches_per_sample:.0f} dispatches), over 3% of the "
+        f"{per_dispatch_wall * 1e6:.2f}us per-dispatch wall time"
+    )
+
+
+def _timed(fn):
+    start = perf_counter()
+    fn()
+    return perf_counter() - start

@@ -23,7 +23,7 @@ def rules_fired(violations):
 
 def test_registry_contains_all_rules():
     assert set(ALL_RULES) == set(GRAPH_RULES) | set(LEGACY_RULES)
-    assert len(ALL_RULES) == 14
+    assert len(ALL_RULES) == 15
 
 
 def test_dropped_wait_fixture():
@@ -112,6 +112,21 @@ def test_lens_sink_fixture():
     assert len(violations) == 4
 
 
+def test_metric_discipline_fixture():
+    violations = vet_fixture("fixture_metric_discipline.py")
+    assert rules_fired(violations) == ["metric-discipline"]
+    by_line = {v.line: v.message for v in violations}
+    # ad-hoc stat dicts, exact name and suffix match
+    assert 13 in by_line and "self.stats" in by_line[13]
+    assert 15 in by_line and "request_counters" in by_line[15]
+    # direct metric construction outside the obs layer
+    assert 19 in by_line and "Gauge" in by_line[19]
+    assert 20 in by_line and "registry.histogram" in by_line[20]
+    # registry-family registration, unrelated dicts, and
+    # collections.Counter (import-aware matching) all stay quiet
+    assert len(violations) == 4
+
+
 def test_lens_sink_baseline_suppression():
     # a [[suppress]] baseline entry silences the new rule like any other
     import datetime
@@ -142,7 +157,7 @@ def test_whole_corpus_scan_detects_every_seeded_bug():
     assert {
         "dropped-wait", "orphan-message-type", "handler-totality",
         "reply-pairing", "inject-coverage", "chaos-reachability",
-        "lens-sink-discipline",
+        "lens-sink-discipline", "metric-discipline",
     } <= fired
 
 
