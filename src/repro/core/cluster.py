@@ -143,6 +143,28 @@ class DexCluster:
         self.processes[proc.pid] = proc
         return proc
 
+    def retire_process(self, proc: DexProcess, force: bool = False) -> None:
+        """Remove a finished process from the cluster.
+
+        ``create_process`` registers the pid in the routing table forever;
+        long-lived clusters that churn through many short-lived processes
+        (DexServe tenants, the churn test) would otherwise accumulate
+        page tables, frame stores, and stats namespaces for every process
+        that ever ran.  Retiring unregisters the pid — stray messages for
+        it become a hard error, as for any unknown process — and releases
+        the per-node state.  Refuses while any thread is still alive
+        unless *force* (a fail-stopped process's parked threads never
+        finish; forcing is how recovery sweeps them away)."""
+        live = [t for t in proc.threads if t.alive]
+        if live and not force:
+            names = ", ".join(t.name for t in live[:4])
+            raise DexError(
+                f"cannot retire {proc.name}: {len(live)} thread(s) still "
+                f"alive ({names})"
+            )
+        self.processes.pop(proc.pid, None)
+        proc.release()
+
     def simulate(
         self,
         main: Callable[..., Generator],

@@ -321,6 +321,21 @@ class DexProcess:
             self._node_states.pop(node, None)
             self.state_gen += 1
 
+    def release(self) -> None:
+        """Drop every per-node and per-thread structure this process
+        holds, so a retired process costs nothing but its (small) object
+        header until garbage collection takes the rest.
+
+        Called by :meth:`DexCluster.retire_process` after the threads
+        have finished; the cluster removes the pid from its routing table
+        in the same step, so no message can reach the released state."""
+        for node in list(self._node_states):
+            self._node_states.pop(node, None)
+        self.state_gen += 1
+        self.threads.clear()
+        self.worker_ready.clear()
+        self.nodes_with_worker.clear()
+
     # ------------------------------------------------------------------
 
     def attach_tracer(self, tracer) -> None:

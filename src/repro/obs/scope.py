@@ -112,9 +112,20 @@ class DexScope:
         self.engine_queue = reg.gauge(
             "engine_queue_len", "pending entries in the event queue")
 
+        #: DexServe feed (a ServeManager), or None when no serving run is
+        #: attached — the common case costs one None check per sample
+        self._serve: Any = None
+        #: Perfetto track names for serve-owned pids (metadata emission)
+        self._serve_tracks: Dict[int, str] = {}
+
         cluster.engine.add_sampler(self.on_sample, self.interval_us)
         cluster.net.scope = self
         _RECENT.append(self)
+
+    def attach_serve(self, feed: Any) -> None:
+        """Register a DexServe manager: its :meth:`scope_series` is read
+        on every sample and its tenants get their own Perfetto tracks."""
+        self._serve = feed
 
     # -- fabric feed --------------------------------------------------------
 
@@ -259,6 +270,14 @@ class DexScope:
              (faults - last.get("faults", 0.0)) * 1000.0 / dt, "mean")
         last["faults"] = faults
 
+        # DexServe feed: per-tenant queue depth / in-flight / admission
+        # decisions, one synthetic Perfetto process (track) per tenant
+        if self._serve is not None:
+            for key, value, agg, pid, track in self._serve.scope_series():
+                if pid not in self._serve_tracks:
+                    self._serve_tracks[pid] = track
+                push(key, t, value, agg, pid)
+
     # -- export ---------------------------------------------------------------
 
     def series_dict(self) -> Dict[str, Dict[str, Any]]:
@@ -281,6 +300,11 @@ class DexScope:
             events.append({
                 "name": "process_name", "ph": "M", "pid": CLUSTER_PID,
                 "tid": 0, "args": {"name": "cluster (DexScope)"},
+            })
+        for pid in sorted(self._serve_tracks):
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid,
+                "tid": 0, "args": {"name": self._serve_tracks[pid]},
             })
         for key in sorted(self.series):
             pid = self._series_pid[key]

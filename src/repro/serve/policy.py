@@ -1,0 +1,143 @@
+"""Admission-control policies for DexServe.
+
+Every request passes through exactly one :meth:`AdmissionPolicy.decide`
+call at its arrival node; the decision object says what happened and
+the policy itself performs any queue mutation through the sanctioned
+``commit_admit`` / ``evict_oldest`` surface.  Nothing else in the
+serving layer may drop or enqueue work — the DexVet ``serve-discipline``
+rule pins admission decisions to this module statically.
+
+Three policies, matching the load-leveling patterns the ROADMAP names:
+
+* ``reject``   — bounded queue, reject-with-503 once full (the classic
+  load shedder: latency of admitted work stays bounded, overflow is
+  pushed back to the client);
+* ``shed-oldest`` — admit the newcomer, evict the head of the queue
+  (freshness-biased: under overload, old queued work is the least
+  likely to still matter);
+* ``token-bucket`` — throttle to a sustained rate with a burst
+  allowance, before the queue is even consulted (smooths bursts at the
+  cost of refusing work the queue could briefly absorb).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .queueing import REJECTED, THROTTLED, Request, ServeQueue
+
+POLICY_NAMES = ("reject", "shed-oldest", "token-bucket")
+
+ADMIT = "admit"
+REJECT = "reject"
+THROTTLE = "throttle"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check: the action taken on *request*,
+    plus any queued request shed to make room for it."""
+
+    action: str
+    request: Request
+    shed: Tuple[Request, ...] = ()
+
+
+class AdmissionPolicy:
+    """Base: admit when the queue has room, reject otherwise."""
+
+    name = "reject"
+
+    def decide(
+        self, queue: ServeQueue, request: Request, now_us: float
+    ) -> AdmissionDecision:
+        if queue.full:
+            request.status = REJECTED
+            request.finish_us = now_us
+            return AdmissionDecision(REJECT, request)
+        queue.commit_admit(request)
+        return AdmissionDecision(ADMIT, request)
+
+
+class RejectPolicy(AdmissionPolicy):
+    """Bounded queue with reject-with-503 overflow (the base behaviour,
+    named for CLI selection)."""
+
+    name = "reject"
+
+
+class ShedOldestPolicy(AdmissionPolicy):
+    """Always admit the newest request; evict the oldest queued one when
+    the backlog is full."""
+
+    name = "shed-oldest"
+
+    def decide(
+        self, queue: ServeQueue, request: Request, now_us: float
+    ) -> AdmissionDecision:
+        shed = ()
+        if queue.full:
+            victim = queue.evict_oldest()
+            if victim is not None:
+                victim.finish_us = now_us
+                shed = (victim,)
+        queue.commit_admit(request)
+        return AdmissionDecision(ADMIT, request, shed)
+
+
+class TokenBucketPolicy(AdmissionPolicy):
+    """Throttle to ``rate_per_s`` sustained with ``burst`` tokens of
+    headroom; requests arriving with the bucket dry are throttled before
+    the queue is consulted.  One bucket per node (admission is
+    per-node)."""
+
+    name = "token-bucket"
+
+    def __init__(self, rate_per_s: float, burst: float = 16.0):
+        if rate_per_s <= 0.0:
+            raise ValueError("token-bucket rate must be positive")
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self._tokens: Dict[int, float] = {}
+        self._refilled_us: Dict[int, float] = {}
+
+    def _refill(self, node: int, now_us: float) -> float:
+        tokens = self._tokens.get(node, self.burst)
+        last = self._refilled_us.get(node, now_us)
+        tokens = min(self.burst, tokens + (now_us - last) * self.rate_per_s / 1e6)
+        self._refilled_us[node] = now_us
+        return tokens
+
+    def decide(
+        self, queue: ServeQueue, request: Request, now_us: float
+    ) -> AdmissionDecision:
+        node = queue.node
+        tokens = self._refill(node, now_us)
+        if tokens < 1.0:
+            self._tokens[node] = tokens
+            request.status = THROTTLED
+            request.finish_us = now_us
+            return AdmissionDecision(THROTTLE, request)
+        if queue.full:
+            self._tokens[node] = tokens
+            request.status = REJECTED
+            request.finish_us = now_us
+            return AdmissionDecision(REJECT, request)
+        self._tokens[node] = tokens - 1.0
+        queue.commit_admit(request)
+        return AdmissionDecision(ADMIT, request)
+
+
+def make_policy(
+    name: str, rate_per_s: float = 0.0, burst: float = 16.0
+) -> AdmissionPolicy:
+    """Build a policy by CLI name; ``rate_per_s`` feeds token-bucket
+    (falls back to the tenant's base arrival rate)."""
+    if name == "reject":
+        return RejectPolicy()
+    if name == "shed-oldest":
+        return ShedOldestPolicy()
+    if name == "token-bucket":
+        return TokenBucketPolicy(rate_per_s or 1.0, burst)
+    raise ValueError(f"unknown admission policy {name!r} (one of {POLICY_NAMES})")

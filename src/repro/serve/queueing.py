@@ -1,0 +1,129 @@
+"""Per-tenant, per-node request queues for DexServe.
+
+The queue is the load-leveling buffer between the open-loop injector
+and the tenant's bounded worker pool (the bulkhead).  Its mutation
+surface is deliberately narrow: only an admission policy decides what
+enters (`commit_admit`) or is evicted (`evict_oldest`); workers only
+remove from the head (`take`) and park on `wait_token` when empty.
+The DexVet ``serve-discipline`` rule enforces that split statically —
+touching ``_backlog`` anywhere outside this module is a violation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+#: request lifecycle states (terminal ones feed the SLO report)
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+REJECTED = "rejected"
+THROTTLED = "throttled"
+SHED = "shed"
+FAILED = "failed"
+
+
+@dataclass
+class Request:
+    """One unit of tenant work, sized by an item range into the tenant's
+    resident working set."""
+
+    rid: int
+    tenant: str
+    node: int
+    arrival_us: float
+    item_lo: int
+    item_hi: int
+    status: str = QUEUED
+    start_us: float = -1.0
+    finish_us: float = -1.0
+
+    @property
+    def latency_us(self) -> float:
+        return self.finish_us - self.arrival_us
+
+    @property
+    def queue_wait_us(self) -> float:
+        return self.start_us - self.arrival_us
+
+
+class ServeQueue:
+    """A bounded FIFO of admitted requests for one (tenant, node) pair.
+
+    ``capacity`` bounds the backlog; ``depth_hwm`` records the deepest
+    the backlog ever got (a load-leveling health signal the scope
+    samples).  Waiting workers park on engine events handed out by
+    :meth:`wait_token` and are woken one-per-admit.
+    """
+
+    def __init__(self, engine, tenant: str, node: int, capacity: int):
+        self.engine = engine
+        self.tenant = tenant
+        self.node = node
+        self.capacity = capacity
+        self.depth_hwm = 0
+        self._backlog: Deque[Request] = deque()
+        self._waiters: Deque[object] = deque()
+
+    def __len__(self) -> int:
+        return len(self._backlog)
+
+    @property
+    def full(self) -> bool:
+        return len(self._backlog) >= self.capacity
+
+    # -- policy-only mutation surface ---------------------------------
+
+    def commit_admit(self, request: Request) -> None:
+        """Enqueue an admitted request (admission policies only)."""
+        self._backlog.append(request)
+        if len(self._backlog) > self.depth_hwm:
+            self.depth_hwm = len(self._backlog)
+        self._wake_one()
+
+    def evict_oldest(self) -> Optional[Request]:
+        """Drop the head of the backlog to make room (shed-oldest
+        policies only)."""
+        if not self._backlog:
+            return None
+        victim = self._backlog.popleft()
+        victim.status = SHED
+        return victim
+
+    # -- worker surface ------------------------------------------------
+
+    def take(self) -> Optional[Request]:
+        """Pop the next queued request, or None when empty."""
+        if not self._backlog:
+            return None
+        return self._backlog.popleft()
+
+    def wait_token(self):
+        """An engine event the caller must yield; triggered by the next
+        admit (or by :meth:`release_waiters` at shutdown)."""
+        ev = self.engine.event()
+        self._waiters.append(ev)
+        return ev
+
+    def _wake_one(self) -> None:
+        while self._waiters:
+            ev = self._waiters.popleft()
+            if not ev.triggered:
+                ev.succeed()
+                return
+
+    def release_waiters(self) -> None:
+        """Wake every parked worker (shutdown / failure sweep)."""
+        while self._waiters:
+            ev = self._waiters.popleft()
+            if not ev.triggered:
+                ev.succeed()
+
+    def drain(self) -> List[Request]:
+        """Empty the backlog (failure sweep: the node died); returns the
+        stranded requests for the manager to reroute or fail."""
+        stranded = list(self._backlog)
+        self._backlog.clear()
+        return stranded

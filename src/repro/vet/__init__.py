@@ -37,6 +37,7 @@ GRAPH_RULES = (
     "chaos-reachability",
     "lens-sink-discipline",
     "metric-discipline",
+    "serve-discipline",
 )
 
 #: every selectable rule, in report order

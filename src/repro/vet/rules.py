@@ -558,3 +558,135 @@ def _check_metric_discipline(ctx: VetContext) -> List[Violation]:
                             ),
                         ))
     return violations
+
+
+# -- serve-discipline ----------------------------------------------------------
+
+#: the policy-only mutation surface of repro.serve.queueing.ServeQueue
+_SERVE_QUEUE_API = frozenset({"commit_admit", "evict_oldest"})
+#: every way the backlog deque can be mutated
+_BACKLOG_MUTATORS = frozenset({
+    "append", "appendleft", "extend", "insert", "remove", "clear",
+    "pop", "popleft",
+})
+#: admission-decision tallies that belong in the metrics registry
+_SERVE_DECISION_COUNTS = frozenset({
+    "injected", "admitted", "rejected", "throttled", "shed",
+})
+
+
+def _serve_queue_owner(rel: str) -> bool:
+    return rel.endswith("serve/queueing.py")
+
+
+def _serve_policy_layer(rel: str) -> bool:
+    return rel.endswith("serve/policy.py") or _serve_queue_owner(rel)
+
+
+@rule("serve-discipline")
+def _check_serve_discipline(ctx: VetContext) -> List[Violation]:
+    """DexServe admission control flows through the policy interface and
+    its accounting through the metrics registry, nowhere else.
+
+    (a) ``_backlog`` is ServeQueue-private: mutating it from outside
+    ``serve/queueing.py`` bypasses the depth high-water mark and the
+    one-waiter-per-admit wakeup; (b) ``commit_admit``/``evict_oldest``
+    are the policy layer's entry points — a manager or worker calling
+    them has made an admission decision outside any policy; (c) an
+    :class:`AdmissionDecision` minted outside ``serve/policy.py`` is an
+    unaccountable decision (import-aware, so unrelated classes of the
+    same name stay clean); (d) tallying decisions on ad-hoc ``self``
+    attributes instead of registry counters hides them from the SLO
+    report and the scope time-series."""
+    violations: List[Violation] = []
+
+    def flag(scan: ModuleScan, line: int, message: str) -> None:
+        violations.append(Violation(
+            rule="serve-discipline", path=str(scan.path),
+            line=line, message=message,
+        ))
+
+    for scan in ctx.scans:
+        rel = scan.module.rel
+        owns_queue = _serve_queue_owner(rel)
+        is_policy = _serve_policy_layer(rel)
+        mints_decisions = rel.endswith("serve/policy.py")
+        serveish = "serve" in scan.module.parts
+        decision_aliases: Set[str] = set()
+        for node in ast.walk(scan.tree):
+            if isinstance(node, ast.ImportFrom):
+                mod = node.module or ""
+                if (
+                    mod in ("repro.serve", "repro.serve.policy", "policy")
+                    or mod.endswith(".serve")
+                    or mod.endswith("serve.policy")
+                ):
+                    serveish = True
+                    for alias in node.names:
+                        if alias.name == "AdmissionDecision":
+                            decision_aliases.add(alias.asname or alias.name)
+        for node in ast.walk(scan.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    not owns_queue
+                    and isinstance(func, ast.Attribute)
+                    and func.attr in _BACKLOG_MUTATORS
+                    and isinstance(func.value, ast.Attribute)
+                    and func.value.attr == "_backlog"
+                ):
+                    flag(scan, node.lineno, (
+                        f"direct '._backlog.{func.attr}(...)' outside "
+                        f"ServeQueue — admit through an AdmissionPolicy "
+                        f"(queue.commit_admit is the policy-only surface)"
+                    ))
+                elif (
+                    not is_policy
+                    and isinstance(func, ast.Attribute)
+                    and func.attr in _SERVE_QUEUE_API
+                ):
+                    flag(scan, node.lineno, (
+                        f"'.{func.attr}(...)' called outside the admission "
+                        f"policy layer — route the request through "
+                        f"AdmissionPolicy.decide(...) instead"
+                    ))
+                elif (
+                    not mints_decisions
+                    and isinstance(func, ast.Name)
+                    and func.id in decision_aliases
+                ):
+                    flag(scan, node.lineno, (
+                        "AdmissionDecision minted outside serve/policy.py "
+                        "— only policies may decide; return one from an "
+                        "AdmissionPolicy.decide(...) override"
+                    ))
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if (
+                        not owns_queue
+                        and isinstance(target, ast.Attribute)
+                        and target.attr == "_backlog"
+                    ):
+                        flag(scan, node.lineno, (
+                            "assignment to '._backlog' outside ServeQueue "
+                            "— the backlog deque is queue-private"
+                        ))
+                    elif (
+                        serveish
+                        and isinstance(node, ast.AugAssign)
+                        and isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and target.attr in _SERVE_DECISION_COUNTS
+                    ):
+                        flag(scan, node.lineno, (
+                            f"ad-hoc decision tally 'self.{target.attr}' — "
+                            f"count admission outcomes through the "
+                            f"MetricsRegistry serve_*_total counters so "
+                            f"the SLO report and scope series see them"
+                        ))
+    return violations

@@ -1,0 +1,113 @@
+"""DexServe arrival generators: seed determinism, distributional shape,
+and the open-loop timeline invariants."""
+
+import numpy as np
+import pytest
+
+from repro.serve.arrivals import (
+    ArrivalCurve,
+    arrival_times,
+    curve_window,
+    parse_curve,
+)
+
+
+def test_same_seed_bit_identical():
+    for kind in ("constant", "poisson", "burst", "ramp"):
+        curve = ArrivalCurve(kind, rate=10_000, requests=500)
+        a = arrival_times(curve, seed=42)
+        b = arrival_times(curve, seed=42)
+        assert a.dtype == np.float64
+        assert np.array_equal(a, b)
+
+
+def test_different_seed_differs_when_random():
+    curve = ArrivalCurve("poisson", rate=10_000, requests=500)
+    assert not np.array_equal(
+        arrival_times(curve, seed=1), arrival_times(curve, seed=2))
+    # deterministic kinds ignore the seed entirely
+    det = ArrivalCurve("constant", rate=10_000, requests=500)
+    assert np.array_equal(
+        arrival_times(det, seed=1), arrival_times(det, seed=2))
+
+
+def test_constant_spacing_exact():
+    curve = ArrivalCurve("constant", rate=8_000, requests=100)
+    times = arrival_times(curve, seed=0)
+    assert len(times) == 100
+    spacing = np.diff(times)
+    assert np.allclose(spacing, 1e6 / 8_000)
+    assert times[0] == 0.0
+
+
+def test_poisson_interarrival_mean_within_tolerance():
+    curve = ArrivalCurve("poisson", rate=10_000, requests=20_000)
+    times = arrival_times(curve, seed=7)
+    mean_gap = float(np.diff(times).mean())
+    assert mean_gap == pytest.approx(100.0, rel=0.05)  # 1e6/10k us
+
+
+def test_burst_rate_multiplies_inside_window():
+    curve = ArrivalCurve(
+        "burst", rate=10_000, requests=2_500,
+        burst_at_us=50_000, burst_for_us=20_000, burst_x=8.0)
+    times = arrival_times(curve, seed=3)
+    lo, hi = curve_window(curve)
+    assert (lo, hi) == (50_000.0, 70_000.0)
+    assert times[-1] > hi  # arrivals continue past the window
+    before = ((times >= lo - 20_000) & (times < lo)).sum()
+    during = ((times >= lo) & (times < hi)).sum()
+    # 8x the arrivals per unit time inside the window
+    per_us_before = before / 20_000.0
+    per_us_during = during / (hi - lo)
+    assert per_us_during == pytest.approx(8.0 * per_us_before, rel=0.05)
+
+
+def test_ramp_density_increases():
+    curve = ArrivalCurve("ramp", rate=4_000, requests=4_000, ramp_to=16_000)
+    times = arrival_times(curve, seed=0)
+    span = times[-1]
+    first = (times < span / 2).sum()
+    second = (times >= span / 2).sum()
+    assert second > first * 1.5  # strictly densifying
+    # instantaneous rate at the end approaches ramp_to
+    tail_gap = float(np.diff(times)[-200:].mean())
+    assert tail_gap == pytest.approx(1e6 / 16_000, rel=0.1)
+
+
+def test_all_kinds_sorted_and_sized():
+    for kind in ("constant", "poisson", "burst", "ramp"):
+        curve = ArrivalCurve(kind, rate=5_000, requests=777)
+        times = arrival_times(curve, seed=11)
+        assert len(times) == 777
+        assert np.all(np.diff(times) >= 0.0)
+        assert times[0] >= 0.0
+
+
+def test_open_loop_timeline_is_pure_function_of_curve():
+    # the arrival timeline never depends on service state: the curve
+    # alone determines it, which is the open-loop property the manager
+    # relies on (it precomputes the whole timeline before serving)
+    curve = ArrivalCurve("poisson", rate=9_000, requests=300)
+    timeline = arrival_times(curve, seed=5)
+    again = arrival_times(curve, seed=5)
+    assert np.array_equal(timeline, again)
+
+
+def test_parse_curve_and_validation():
+    curve = parse_curve("burst", 8_000, 400,
+                        burst_at_us=10_000, burst_for_us=5_000, burst_x=4.0)
+    assert curve.kind == "burst" and curve.burst_x == 4.0
+    with pytest.raises(ValueError):
+        parse_curve("sawtooth", 8_000, 400)
+    with pytest.raises(ValueError):
+        ArrivalCurve("constant", rate=0.0, requests=10).validate()
+    with pytest.raises(ValueError):
+        ArrivalCurve("constant", rate=100.0, requests=0).validate()
+
+
+def test_scaled_replaces_request_count():
+    curve = ArrivalCurve("constant", rate=10_000, requests=100)
+    half = curve.scaled(50)
+    assert half.rate == 10_000 and half.requests == 50
+    assert len(arrival_times(half, seed=0)) == 50

@@ -46,7 +46,8 @@ def test_list_rules(capsys):
     assert "dropped-wait" in names
     assert "unhandled-message-type" in names
     assert "lens-sink-discipline" in names
-    assert len(names) == 15
+    assert "serve-discipline" in names
+    assert len(names) == 16
 
 
 def test_unknown_rule_exits_2(capsys):

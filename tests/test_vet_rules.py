@@ -23,7 +23,7 @@ def rules_fired(violations):
 
 def test_registry_contains_all_rules():
     assert set(ALL_RULES) == set(GRAPH_RULES) | set(LEGACY_RULES)
-    assert len(ALL_RULES) == 15
+    assert len(ALL_RULES) == 16
 
 
 def test_dropped_wait_fixture():
@@ -127,6 +127,24 @@ def test_metric_discipline_fixture():
     assert len(violations) == 4
 
 
+def test_serve_discipline_fixture():
+    violations = vet_fixture("fixture_serve_discipline.py")
+    assert rules_fired(violations) == ["serve-discipline"]
+    by_line = {v.line: v.message for v in violations}
+    # direct backlog mutation, call and wholesale-assignment forms
+    assert 16 in by_line and "_backlog.append" in by_line[16]
+    assert 21 in by_line and "_backlog.clear" in by_line[21]
+    assert 33 in by_line and "queue-private" in by_line[33]
+    # policy-only entry point called from a manager
+    assert 25 in by_line and "evict_oldest" in by_line[25]
+    # decision minted outside the policy layer
+    assert 29 in by_line and "AdmissionDecision" in by_line[29]
+    # ad-hoc tally instead of a registry counter
+    assert 17 in by_line and "self.admitted" in by_line[17]
+    # the sanctioned policy.decide path stays quiet
+    assert len(violations) == 6
+
+
 def test_lens_sink_baseline_suppression():
     # a [[suppress]] baseline entry silences the new rule like any other
     import datetime
@@ -158,6 +176,7 @@ def test_whole_corpus_scan_detects_every_seeded_bug():
         "dropped-wait", "orphan-message-type", "handler-totality",
         "reply-pairing", "inject-coverage", "chaos-reachability",
         "lens-sink-discipline", "metric-discipline",
+        "serve-discipline",
     } <= fired
 
 
